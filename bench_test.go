@@ -1,0 +1,314 @@
+// Package phishare's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per artifact; see DESIGN.md's
+// experiment index) plus micro-benchmarks of the hot components. Results
+// beyond time/op are attached as custom metrics: makespans in seconds,
+// reductions in percent, footprints in nodes.
+//
+// The macro-benchmarks run each experiment at a reduced-but-faithful scale
+// by default so `go test -bench=.` completes in minutes; run cmd/phibench
+// for the full paper-scale report.
+package phishare
+
+import (
+	"testing"
+
+	"phishare/internal/classad"
+	"phishare/internal/experiments"
+	"phishare/internal/job"
+	"phishare/internal/knapsack"
+	"phishare/internal/rng"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+	"phishare/internal/workload"
+)
+
+// benchOptions is the reduced scale used by the macro-benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 42, Nodes: 8, RealJobs: 400, SyntheticJobs: 200}
+}
+
+// BenchmarkMotivationUtilization regenerates E1 (§III): exclusive-policy
+// core utilization on the real mix and the synthetic distributions.
+func BenchmarkMotivationUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Motivation(benchOptions())
+		b.ReportMetric(r.Real*100, "real-util-%")
+		b.ReportMetric(r.Synthetic[workload.LowSkew]*100, "lowskew-util-%")
+		b.ReportMetric(r.Synthetic[workload.HighSkew]*100, "highskew-util-%")
+	}
+}
+
+// BenchmarkTable2Makespan regenerates E2 (Table II): makespan and footprint
+// for MC/MCC/MCCK on the Table I mix.
+func BenchmarkTable2Makespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(benchOptions())
+		b.ReportMetric(r.Rows[0].Makespan.Seconds(), "MC-s")
+		b.ReportMetric(r.Rows[1].Makespan.Seconds(), "MCC-s")
+		b.ReportMetric(r.Rows[2].Makespan.Seconds(), "MCCK-s")
+		b.ReportMetric(r.Rows[2].Reduction*100, "MCCK-red-%")
+		b.ReportMetric(float64(r.Rows[2].Footprint), "MCCK-footprint")
+	}
+}
+
+// BenchmarkFig7Distributions regenerates E3 (Fig. 7): the synthetic
+// resource histograms.
+func BenchmarkFig7Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(benchOptions())
+		b.ReportMetric(r.Histograms[2].MeanLevel(), "lowskew-mean")
+		b.ReportMetric(r.Histograms[3].MeanLevel(), "highskew-mean")
+	}
+}
+
+// BenchmarkFig8Sensitivity regenerates E4 (Fig. 8): makespan across the
+// four resource distributions.
+func BenchmarkFig8Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(benchOptions())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.MCCK.Seconds(), row.Dist.String()+"-MCCK-s")
+		}
+	}
+}
+
+// BenchmarkFig9ClusterSize regenerates E5 (Fig. 9): makespan versus cluster
+// size for each distribution.
+func BenchmarkFig9ClusterSize(b *testing.B) {
+	o := benchOptions()
+	o.SyntheticJobs = 120
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(o)
+		s := r.Series[1] // normal
+		b.ReportMetric(s.MCCK[0].Seconds(), "normal-2node-MCCK-s")
+		b.ReportMetric(s.MCCK[len(s.MCCK)-1].Seconds(), "normal-8node-MCCK-s")
+	}
+}
+
+// BenchmarkTable3Footprint regenerates E6 (Table III): footprint per
+// distribution.
+func BenchmarkTable3Footprint(b *testing.B) {
+	o := benchOptions()
+	o.SyntheticJobs = 120
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(o)
+		for _, row := range r.Rows {
+			b.ReportMetric(float64(row.MCCK), row.Dist.String()+"-MCCK-nodes")
+		}
+	}
+}
+
+// BenchmarkFig10JobPressure regenerates E7 (Fig. 10): constant job
+// pressure, jobs scaling with cluster size.
+func BenchmarkFig10JobPressure(b *testing.B) {
+	o := benchOptions()
+	o.SyntheticJobs = 120
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(o)
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.MCCK.Seconds(), "8node-MCCK-s")
+		b.ReportMetric((1-float64(last.MCCK)/float64(last.MC))*100, "K-vs-MC-%")
+	}
+}
+
+// BenchmarkFig23Overlap regenerates E8 (Figs. 2–3): the two-job sharing
+// timelines and their makespan savings.
+func BenchmarkFig23Overlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig23(benchOptions())
+		b.ReportMetric((1-float64(r.MaximalMakespan)/float64(r.MaximalSequential))*100, "maximal-save-%")
+		b.ReportMetric((1-float64(r.PartialMakespan)/float64(r.PartialSequential))*100, "partial-save-%")
+	}
+}
+
+// BenchmarkAblationValueFunction regenerates A1: the knapsack value
+// function variants.
+func BenchmarkAblationValueFunction(b *testing.B) {
+	o := benchOptions()
+	o.RealJobs = 200
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationValueFunction(o)
+		b.ReportMetric(rows[1].Makespan.Seconds(), "eq1-s")
+		b.ReportMetric(rows[3].Makespan.Seconds(), "unit-s")
+	}
+}
+
+// BenchmarkAblationOversubscription regenerates A2: crash and slowdown
+// behaviour of the Phi-agnostic stack on raw MPSS devices.
+func BenchmarkAblationOversubscription(b *testing.B) {
+	o := benchOptions()
+	o.RealJobs = 200
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationOversubscription(o)
+		b.ReportMetric(float64(rows[0].Crashes), "raw-crashes")
+		b.ReportMetric(float64(rows[1].Crashes), "cosmic-crashes")
+	}
+}
+
+// BenchmarkAblationNegotiationCycle regenerates A3: MCCK's sensitivity to
+// the Condor negotiation cycle.
+func BenchmarkAblationNegotiationCycle(b *testing.B) {
+	o := benchOptions()
+	o.SyntheticJobs = 120
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationNegotiationCycle(o)
+		b.ReportMetric(rows[0].Makespan.Seconds(), "5s-cycle-s")
+		b.ReportMetric(rows[len(rows)-1].Makespan.Seconds(), "60s-cycle-s")
+	}
+}
+
+// BenchmarkAblationDispatchDiscipline regenerates A4: strict-FIFO versus
+// first-fit offload dispatch in COSMIC.
+func BenchmarkAblationDispatchDiscipline(b *testing.B) {
+	o := benchOptions()
+	o.RealJobs = 200
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationDispatchDiscipline(o)
+		b.ReportMetric(rows[2].Makespan.Seconds(), "MCCK-fifo-s")
+		b.ReportMetric(rows[3].Makespan.Seconds(), "MCCK-firstfit-s")
+	}
+}
+
+// --- micro-benchmarks of the hot components ---
+
+// BenchmarkKnapsack2D measures the per-device planning DP at the paper's
+// scale: a 164-unit memory dimension, 60-unit thread dimension, and a
+// 64-job window.
+func BenchmarkKnapsack2D(b *testing.B) {
+	r := rng.New(9)
+	items := make([]knapsack.Item, 64)
+	for i := range items {
+		th := units.Threads(4 * (6 + r.Intn(55)))
+		items[i] = knapsack.Item{
+			Mem:     units.MB(300 + r.Intn(3000)),
+			Threads: th,
+			Value:   knapsack.Eq1Value(th, 240)*knapsack.CountBonusScale(64) + 1,
+		}
+	}
+	cfg := knapsack.Config{MemCapacity: 8192, ThreadCapacity: 240}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knapsack.Solve(cfg, items)
+	}
+}
+
+// BenchmarkKnapsack1D measures the memory-only DP used by the fill stage.
+func BenchmarkKnapsack1D(b *testing.B) {
+	r := rng.New(10)
+	items := make([]knapsack.Item, 64)
+	for i := range items {
+		items[i] = knapsack.Item{Mem: units.MB(300 + r.Intn(3000)), Value: int64(1 + r.Intn(1000))}
+	}
+	cfg := knapsack.Config{MemCapacity: 8192}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knapsack.Solve(cfg, items)
+	}
+}
+
+// BenchmarkClassAdMatch measures one symmetric matchmaking evaluation, the
+// negotiator's inner loop.
+func BenchmarkClassAdMatch(b *testing.B) {
+	machine := classad.NewAd()
+	machine.SetStr("Name", "slot1@node3")
+	machine.SetInt("PhiFreeMemory", 4096)
+	machine.MustSetExpr("Requirements", "TARGET.RequestPhiMemory <= MY.PhiFreeMemory")
+	jobAd := classad.NewAd()
+	jobAd.SetInt("RequestPhiMemory", 1250)
+	jobAd.MustSetExpr("Requirements", `TARGET.Name == "slot1@node3"`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !classad.Match(machine, jobAd) {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+// BenchmarkClassAdParse measures expression parsing (qedit cost).
+func BenchmarkClassAdParse(b *testing.B) {
+	src := `TARGET.Name == "slot1@node3" && TARGET.PhiFreeMemory >= MY.RequestPhiMemory`
+	for i := 0; i < b.N; i++ {
+		if _, err := classad.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures raw event throughput of the discrete-event
+// core.
+func BenchmarkSimEngine(b *testing.B) {
+	eng := sim.New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			eng.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(1, tick)
+	eng.Run()
+}
+
+// BenchmarkEndToEndMCCK measures one complete MCCK simulation (200 jobs,
+// 8 nodes) — the unit of every macro experiment.
+func BenchmarkEndToEndMCCK(b *testing.B) {
+	jobs := job.GenerateTableOneSet(200, rng.New(11).Fork("tableI"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Run(experiments.RunConfig{
+			Policy: experiments.PolicyMCCK, Nodes: 8, Jobs: jobs, Seed: 11,
+		})
+		b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
+	}
+}
+
+// BenchmarkDynamicArrivals regenerates E9: response time under Poisson
+// arrivals across the load sweep.
+func BenchmarkDynamicArrivals(b *testing.B) {
+	o := benchOptions()
+	o.SyntheticJobs = 150
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Dynamic(o, experiments.DynamicConfig{})
+		for _, r := range rows {
+			if r.Load == 1.4 {
+				b.ReportMetric(r.MeanResponse.Seconds(), r.Policy+"-resp-s")
+			}
+		}
+	}
+}
+
+// BenchmarkEstimation regenerates E10: learned versus conservative versus
+// oracle resource declarations.
+func BenchmarkEstimation(b *testing.B) {
+	o := benchOptions()
+	o.RealJobs = 200
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Estimation(o)
+		b.ReportMetric(rows[0].Makespan.Seconds(), "conservative-s")
+		b.ReportMetric(rows[1].Makespan.Seconds(), "estimated-s")
+		b.ReportMetric(rows[2].Makespan.Seconds(), "oracle-s")
+	}
+}
+
+// BenchmarkKnapsackGreedyVsDP measures the value-density heuristic on the
+// same instance as BenchmarkKnapsack2D, quantifying the complexity gap the
+// paper's §IV-C discussion trades against exactness.
+func BenchmarkKnapsackGreedyVsDP(b *testing.B) {
+	r := rng.New(9)
+	items := make([]knapsack.Item, 64)
+	for i := range items {
+		th := units.Threads(4 * (6 + r.Intn(55)))
+		items[i] = knapsack.Item{
+			Mem:     units.MB(300 + r.Intn(3000)),
+			Threads: th,
+			Value:   knapsack.Eq1Value(th, 240)*knapsack.CountBonusScale(64) + 1,
+		}
+	}
+	cfg := knapsack.Config{MemCapacity: 8192, ThreadCapacity: 240}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knapsack.SolveGreedy(cfg, items)
+	}
+}

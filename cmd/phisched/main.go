@@ -1,0 +1,138 @@
+// Command phisched runs a single cluster-scheduling simulation and prints
+// its measurements: makespan, utilization, concurrency, and per-policy
+// statistics. It is the "run one configuration" tool; cmd/phibench
+// regenerates the full evaluation.
+//
+// Usage:
+//
+//	phisched -policy MCCK -nodes 8 -jobs 1000 -workload tableI [-seed 42]
+//	phisched -policy MCC -workload normal -jobs 400
+//
+// Workloads: tableI (the paper's real application mix) or one of the
+// synthetic distributions uniform, normal, low-skew, high-skew.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"phishare/internal/experiments"
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/trace"
+	"phishare/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phisched: ")
+
+	var (
+		policy   = flag.String("policy", "MCCK", "scheduling policy: MC, MCC, MCCK, Agnostic")
+		nodes    = flag.Int("nodes", 8, "cluster size (servers, 1 Xeon Phi each)")
+		devices  = flag.Int("devices", 1, "Xeon Phi devices per node")
+		njobs    = flag.Int("jobs", 1000, "number of jobs")
+		wl       = flag.String("workload", "tableI", "workload: tableI, uniform, normal, low-skew, high-skew")
+		input    = flag.String("input", "", "load the job set from a phigen -json file instead of generating one")
+		seed     = flag.Int64("seed", 42, "random seed")
+		verbose  = flag.Bool("v", false, "print per-workload turnaround breakdown")
+		traceOut = flag.String("trace", "", "write the offload trace (CSV) to this file")
+		svgOut   = flag.String("svg", "", "write the offload timeline as an SVG Gantt chart")
+	)
+	flag.Parse()
+
+	var jobs []*job.Job
+	switch {
+	case *input != "":
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs, err = job.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		*wl = *input
+	case *wl == "tableI":
+		jobs = job.GenerateTableOneSet(*njobs, rng.New(*seed).Fork("tableI"))
+	default:
+		d, err := workload.ParseDistribution(*wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = workload.Generate(workload.Config{Dist: d, N: *njobs, Seed: *seed})
+	}
+
+	var rec *trace.Recorder
+	runCfg := experiments.RunConfig{
+		Policy:         *policy,
+		Nodes:          *nodes,
+		DevicesPerNode: *devices,
+		Jobs:           jobs,
+		Seed:           *seed,
+	}
+	if *traceOut != "" || *svgOut != "" {
+		rec = trace.NewRecorder()
+		runCfg.Trace = rec
+	}
+	res := experiments.Run(runCfg)
+
+	if rec != nil && *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatalf("create %s: %v", *svgOut, err)
+		}
+		if err := rec.WriteSVG(f, 240); err != nil {
+			log.Fatalf("write svg: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote timeline SVG to %s", *svgOut)
+	}
+
+	if rec != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("create %s: %v", *traceOut, err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d offload intervals to %s", len(rec.Intervals()), *traceOut)
+		totalThreads := float64(*nodes * *devices * 240)
+		fmt.Printf("\ncluster thread occupancy over the run:\n[%s]\n",
+			trace.Sparkline(rec.Timeline(64, res.Makespan), totalThreads))
+	}
+
+	fmt.Printf("policy           %s\n", res.Policy)
+	fmt.Printf("cluster          %d nodes x %d device(s)\n", *nodes, *devices)
+	fmt.Printf("jobs             %d (%s)\n", res.JobCount, *wl)
+	fmt.Printf("makespan         %.0f s\n", res.Makespan.Seconds())
+	fmt.Printf("core utilization %.1f%%\n", res.Utilization*100)
+	fmt.Printf("max concurrency  %d jobs/device\n", res.MaxConcurrency)
+	fmt.Printf("completed        %d\n", res.Summary.Completed)
+	fmt.Printf("failed           %d\n", res.Summary.Failed)
+	fmt.Printf("crashes          %d\n", res.Summary.Crashes)
+	fmt.Printf("mean wait        %.1f s\n", res.Summary.MeanWait.Seconds())
+	fmt.Printf("mean turnaround  %.1f s\n", res.Summary.MeanTurnaround.Seconds())
+	fmt.Printf("negotiations     %d\n", res.PoolStats.Negotiations)
+	fmt.Printf("qedits           %d\n", res.PoolStats.Qedits)
+
+	if *verbose {
+		byWorkload := map[string]int{}
+		for _, j := range jobs {
+			byWorkload[j.Workload]++
+		}
+		fmt.Println("\njob mix:")
+		for name, count := range byWorkload {
+			fmt.Printf("  %-10s %d\n", name, count)
+		}
+	}
+}

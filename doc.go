@@ -1,0 +1,26 @@
+// Package phishare is a full Go reproduction of "A Coprocessor
+// Sharing-Aware Scheduler for Xeon Phi-based Compute Clusters" (Coviello,
+// Cadambi, Chakradhar — IPDPS 2014).
+//
+// The system layers, bottom to top:
+//
+//   - internal/sim: deterministic discrete-event engine
+//   - internal/phi: Xeon Phi device model (cores, threads, memory, OOM
+//     killer, oversubscription slowdown) and the node PCIe link
+//   - internal/cosmic: the COSMIC node middleware (offload admission,
+//     memory containers, node memory admission, core affinitization)
+//   - internal/classad + internal/condor: an HTCondor-style cluster
+//     manager with a working ClassAd language and FIFO matchmaking
+//   - internal/scheduler: the MC (exclusive) and MCC (random packing)
+//     baselines; internal/core: the paper's knapsack cluster scheduler
+//   - internal/job + internal/workload: the Table I application mix and
+//     the Fig. 7 synthetic distributions
+//   - internal/experiments: one driver per table/figure plus extensions
+//     and ablations
+//
+// This root package holds the repository-level artifacts: the benchmark
+// harness (bench_test.go, one benchmark per paper artifact) and the
+// cross-module integration tests (integration_test.go). See README.md for
+// usage, DESIGN.md for the system inventory and modeling decisions, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package phishare

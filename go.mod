@@ -1,0 +1,3 @@
+module phishare
+
+go 1.22

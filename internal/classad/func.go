@@ -1,0 +1,356 @@
+package classad
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Built-in functions, the useful subset of HTCondor's ClassAd function
+// library. Function names are case-insensitive, like attribute names.
+//
+// Error handling follows the ClassAd convention: wrong arity or operand
+// types yield the error value; undefined arguments generally propagate
+// undefined (ifThenElse being the deliberate exception).
+type builtin struct {
+	name     string
+	minArity int
+	maxArity int // -1 for variadic
+	eval     func(args []Value) Value
+}
+
+var builtins = map[string]builtin{}
+
+func register(b builtin) { builtins[strings.ToLower(b.name)] = b }
+
+func init() {
+	register(builtin{"strcat", 0, -1, fnStrcat})
+	register(builtin{"substr", 2, 3, fnSubstr})
+	register(builtin{"strlen", 1, 1, fnStrlen})
+	register(builtin{"toLower", 1, 1, fnToLower})
+	register(builtin{"toUpper", 1, 1, fnToUpper})
+	register(builtin{"int", 1, 1, fnInt})
+	register(builtin{"real", 1, 1, fnReal})
+	register(builtin{"string", 1, 1, fnString})
+	register(builtin{"floor", 1, 1, fnFloor})
+	register(builtin{"ceiling", 1, 1, fnCeiling})
+	register(builtin{"round", 1, 1, fnRound})
+	register(builtin{"min", 1, -1, fnMin})
+	register(builtin{"max", 1, -1, fnMax})
+	register(builtin{"ifThenElse", 3, 3, fnIfThenElse})
+	register(builtin{"isUndefined", 1, 1, fnIsUndefined})
+	register(builtin{"isError", 1, 1, fnIsError})
+	register(builtin{"stringListMember", 2, 3, fnStringListMember})
+}
+
+// callExpr is a function application node.
+type callExpr struct {
+	name string // original spelling
+	args []Expr
+}
+
+func (e callExpr) Eval(env *Env) Value {
+	b, ok := builtins[strings.ToLower(e.name)]
+	if !ok {
+		return ErrorValue("unknown function " + e.name)
+	}
+	if len(e.args) < b.minArity || (b.maxArity >= 0 && len(e.args) > b.maxArity) {
+		return ErrorValue(fmt.Sprintf("%s: want %d..%d arguments, got %d",
+			e.name, b.minArity, b.maxArity, len(e.args)))
+	}
+	// ifThenElse must not evaluate the untaken branch (Condor semantics):
+	// handle lazily.
+	if strings.EqualFold(e.name, "ifThenElse") {
+		cond := e.args[0].Eval(env)
+		c, ok := cond.BoolValue()
+		if !ok {
+			if cond.IsError() {
+				return cond
+			}
+			return ErrorValue("ifThenElse: non-boolean condition")
+		}
+		if c {
+			return e.args[1].Eval(env)
+		}
+		return e.args[2].Eval(env)
+	}
+	args := make([]Value, len(e.args))
+	for i, a := range e.args {
+		args[i] = a.Eval(env)
+	}
+	return b.eval(args)
+}
+
+func (e callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return e.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// firstBad returns the first error or undefined argument, if any.
+func firstBad(args []Value) (Value, bool) {
+	for _, a := range args {
+		if a.IsError() {
+			return a, true
+		}
+	}
+	for _, a := range args {
+		if a.IsUndefined() {
+			return a, true
+		}
+	}
+	return Value{}, false
+}
+
+func fnStrcat(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	var sb strings.Builder
+	for _, a := range args {
+		switch a.Kind() {
+		case KindString:
+			s, _ := a.StringValue()
+			sb.WriteString(s)
+		default:
+			// Numbers and booleans stringify with their literal syntax,
+			// minus string quoting.
+			sb.WriteString(strings.Trim(a.String(), `"`))
+		}
+	}
+	return Str(sb.String())
+}
+
+func fnSubstr(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	s, ok := args[0].StringValue()
+	if !ok {
+		return ErrorValue("substr: first argument must be a string")
+	}
+	off, ok := args[1].IntValue()
+	if !ok {
+		return ErrorValue("substr: offset must be an integer")
+	}
+	// Condor semantics: negative offset counts from the end.
+	n := int64(len(s))
+	if off < 0 {
+		off += n
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > n {
+		off = n
+	}
+	length := n - off
+	if len(args) == 3 {
+		l, ok := args[2].IntValue()
+		if !ok {
+			return ErrorValue("substr: length must be an integer")
+		}
+		// Negative length leaves that many characters off the end.
+		if l < 0 {
+			length = n - off + l
+		} else {
+			length = l
+		}
+	}
+	if length < 0 {
+		length = 0
+	}
+	if off+length > n {
+		length = n - off
+	}
+	return Str(s[off : off+length])
+}
+
+func fnStrlen(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	s, ok := args[0].StringValue()
+	if !ok {
+		return ErrorValue("strlen: argument must be a string")
+	}
+	return Int(int64(len(s)))
+}
+
+func fnToLower(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	s, ok := args[0].StringValue()
+	if !ok {
+		return ErrorValue("toLower: argument must be a string")
+	}
+	return Str(strings.ToLower(s))
+}
+
+func fnToUpper(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	s, ok := args[0].StringValue()
+	if !ok {
+		return ErrorValue("toUpper: argument must be a string")
+	}
+	return Str(strings.ToUpper(s))
+}
+
+func fnInt(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	switch args[0].Kind() {
+	case KindInt:
+		return args[0]
+	case KindReal:
+		f, _ := args[0].RealValue()
+		return Int(int64(f)) // truncation, as in Condor
+	case KindBool:
+		b, _ := args[0].BoolValue()
+		if b {
+			return Int(1)
+		}
+		return Int(0)
+	case KindString:
+		s, _ := args[0].StringValue()
+		var i int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &i); err != nil {
+			return ErrorValue("int: cannot parse " + s)
+		}
+		return Int(i)
+	}
+	return ErrorValue("int: unsupported operand")
+}
+
+func fnReal(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	switch args[0].Kind() {
+	case KindReal:
+		return args[0]
+	case KindInt:
+		i, _ := args[0].IntValue()
+		return Real(float64(i))
+	case KindBool:
+		b, _ := args[0].BoolValue()
+		if b {
+			return Real(1)
+		}
+		return Real(0)
+	case KindString:
+		s, _ := args[0].StringValue()
+		var f float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &f); err != nil {
+			return ErrorValue("real: cannot parse " + s)
+		}
+		return Real(f)
+	}
+	return ErrorValue("real: unsupported operand")
+}
+
+func fnString(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	if args[0].Kind() == KindString {
+		return args[0]
+	}
+	return Str(strings.Trim(args[0].String(), `"`))
+}
+
+func numericUnary(name string, args []Value, f func(float64) float64) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	if args[0].Kind() == KindInt {
+		return args[0] // already integral
+	}
+	v, ok := args[0].RealValue()
+	if !ok {
+		return ErrorValue(name + ": non-numeric operand")
+	}
+	return Int(int64(f(v)))
+}
+
+func fnFloor(args []Value) Value   { return numericUnary("floor", args, math.Floor) }
+func fnCeiling(args []Value) Value { return numericUnary("ceiling", args, math.Ceil) }
+func fnRound(args []Value) Value   { return numericUnary("round", args, math.Round) }
+
+func numericFold(name string, args []Value, better func(a, b float64) bool) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	allInt := true
+	best := 0.0
+	for i, a := range args {
+		v, ok := a.RealValue()
+		if !ok {
+			return ErrorValue(name + ": non-numeric operand")
+		}
+		if a.Kind() != KindInt {
+			allInt = false
+		}
+		if i == 0 || better(v, best) {
+			best = v
+		}
+	}
+	if allInt {
+		return Int(int64(best))
+	}
+	return Real(best)
+}
+
+func fnMin(args []Value) Value {
+	return numericFold("min", args, func(a, b float64) bool { return a < b })
+}
+
+func fnMax(args []Value) Value {
+	return numericFold("max", args, func(a, b float64) bool { return a > b })
+}
+
+func fnIfThenElse([]Value) Value {
+	// Handled lazily in callExpr.Eval; reaching here is a bug.
+	return ErrorValue("ifThenElse: internal evaluation order error")
+}
+
+func fnIsUndefined(args []Value) Value { return Bool(args[0].IsUndefined()) }
+func fnIsError(args []Value) Value     { return Bool(args[0].IsError()) }
+
+// fnStringListMember reports whether item appears in a comma-separated (or
+// custom-delimited) list, compared case-insensitively like Condor's ==.
+func fnStringListMember(args []Value) Value {
+	if bad, ok := firstBad(args); ok {
+		return bad
+	}
+	item, ok := args[0].StringValue()
+	if !ok {
+		return ErrorValue("stringListMember: item must be a string")
+	}
+	list, ok := args[1].StringValue()
+	if !ok {
+		return ErrorValue("stringListMember: list must be a string")
+	}
+	delims := ", "
+	if len(args) == 3 {
+		d, ok := args[2].StringValue()
+		if !ok {
+			return ErrorValue("stringListMember: delimiters must be a string")
+		}
+		delims = d
+	}
+	for _, member := range strings.FieldsFunc(list, func(r rune) bool {
+		return strings.ContainsRune(delims, r)
+	}) {
+		if strings.EqualFold(member, item) {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}

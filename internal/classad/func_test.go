@@ -1,0 +1,173 @@
+package classad
+
+import "testing"
+
+func TestStrcat(t *testing.T) {
+	v := evalStr(t, `strcat("slot", 1, "@", "node", 3)`)
+	if s, _ := v.StringValue(); s != "slot1@node3" {
+		t.Errorf("strcat = %v", v)
+	}
+	if v := evalStr(t, `strcat()`); v.String() != `""` {
+		t.Errorf("empty strcat = %v", v)
+	}
+}
+
+func TestSubstr(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`substr("abcdef", 2)`, "cdef"},
+		{`substr("abcdef", 2, 2)`, "cd"},
+		{`substr("abcdef", -2)`, "ef"},       // negative offset: from end
+		{`substr("abcdef", 0, -2)`, "abcd"},  // negative length: trim end
+		{`substr("abcdef", 10)`, ""},         // offset past end
+		{`substr("abcdef", 0, 100)`, "abcdef"},
+	}
+	for _, c := range cases {
+		v := evalStr(t, c.src)
+		if s, _ := v.StringValue(); s != c.want {
+			t.Errorf("%s = %v, want %q", c.src, v, c.want)
+		}
+	}
+}
+
+func TestStrlenAndCase(t *testing.T) {
+	wantInt(t, `strlen("hello")`, 5)
+	if v := evalStr(t, `toLower("AbC")`); v.String() != `"abc"` {
+		t.Errorf("toLower = %v", v)
+	}
+	if v := evalStr(t, `toUpper("AbC")`); v.String() != `"ABC"` {
+		t.Errorf("toUpper = %v", v)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	wantInt(t, `int(3.9)`, 3) // truncation
+	wantInt(t, `int("42")`, 42)
+	wantInt(t, `int(true)`, 1)
+	wantReal(t, `real(3)`, 3)
+	wantReal(t, `real("2.5")`, 2.5)
+	if v := evalStr(t, `string(42)`); v.String() != `"42"` {
+		t.Errorf("string(42) = %v", v)
+	}
+	if v := evalStr(t, `int("nope")`); !v.IsError() {
+		t.Errorf("int(nope) = %v, want error", v)
+	}
+}
+
+func TestRounding(t *testing.T) {
+	wantInt(t, `floor(2.9)`, 2)
+	wantInt(t, `ceiling(2.1)`, 3)
+	wantInt(t, `round(2.5)`, 3)
+	wantInt(t, `floor(7)`, 7) // integers pass through
+	wantInt(t, `floor(-2.5)`, -3)
+}
+
+func TestMinMax(t *testing.T) {
+	wantInt(t, `min(3, 1, 2)`, 1)
+	wantInt(t, `max(3, 1, 2)`, 3)
+	wantReal(t, `min(3, 0.5)`, 0.5) // any real operand promotes
+	wantInt(t, `min(4)`, 4)
+}
+
+func TestIfThenElse(t *testing.T) {
+	wantInt(t, `ifThenElse(1 < 2, 10, 20)`, 10)
+	wantInt(t, `ifThenElse(1 > 2, 10, 20)`, 20)
+	// Lazy: the untaken branch may be an error without poisoning the result.
+	wantInt(t, `ifThenElse(true, 1, 1/0)`, 1)
+	if v := evalStr(t, `ifThenElse(undefined, 1, 2)`); !v.IsError() {
+		t.Errorf("ifThenElse(undefined) = %v, want error", v)
+	}
+}
+
+func TestIsUndefinedIsError(t *testing.T) {
+	wantBool(t, `isUndefined(nosuchattr)`, true)
+	wantBool(t, `isUndefined(1)`, false)
+	wantBool(t, `isError(1/0)`, true)
+	wantBool(t, `isError(1)`, false)
+}
+
+func TestStringListMember(t *testing.T) {
+	wantBool(t, `stringListMember("KM", "KM, MC, MD")`, true)
+	wantBool(t, `stringListMember("km", "KM, MC, MD")`, true) // case-insensitive
+	wantBool(t, `stringListMember("BT", "KM, MC, MD")`, false)
+	wantBool(t, `stringListMember("b", "a;b;c", ";")`, true)
+}
+
+func TestFunctionErrors(t *testing.T) {
+	for _, src := range []string{
+		`nosuchfn(1)`,
+		`strlen(42)`,
+		`substr(1, 2)`,
+		`min("a")`,
+		`strlen()`,          // arity
+		`ifThenElse(1, 2)`,  // arity
+	} {
+		if v := evalStr(t, src); !v.IsError() {
+			t.Errorf("%s = %v, want error", src, v)
+		}
+	}
+}
+
+func TestFunctionUndefinedPropagation(t *testing.T) {
+	if v := evalStr(t, `strlen(missing)`); !v.IsUndefined() {
+		t.Errorf("strlen(undefined) = %v, want undefined", v)
+	}
+	if v := evalStr(t, `min(1, missing)`); !v.IsUndefined() {
+		t.Errorf("min with undefined = %v, want undefined", v)
+	}
+}
+
+func TestFunctionsCaseInsensitiveNames(t *testing.T) {
+	wantInt(t, `STRLEN("ab")`, 2)
+	wantInt(t, `Min(2, 1)`, 1)
+}
+
+func TestFunctionsInAds(t *testing.T) {
+	// A realistic use: a machine that only accepts jobs from a named list
+	// of workloads.
+	machine := NewAd()
+	machine.MustSetExpr("Requirements",
+		`stringListMember(TARGET.WorkloadName, "KM, SG, MC")`)
+	jobAd := NewAd()
+	jobAd.SetStr("WorkloadName", "SG")
+	if !Match(machine, jobAd) {
+		t.Error("list-based requirements rejected a listed workload")
+	}
+	jobAd.SetStr("WorkloadName", "BT")
+	if Match(machine, jobAd) {
+		t.Error("list-based requirements accepted an unlisted workload")
+	}
+}
+
+func TestCallStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`strcat("a", 1)`,
+		`ifThenElse(x > 2, min(1, 2), max(3, 4))`,
+		`substr("abc", 1, 1)`,
+	}
+	for _, src := range srcs {
+		e1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e1.String(), err)
+		}
+		if e1.Eval(nil).String() != e2.Eval(nil).String() {
+			t.Errorf("round trip of %q changed value", src)
+		}
+	}
+}
+
+func TestCallParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`min(1,`, `min(1`, `min(,1)`, `min(1,)`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

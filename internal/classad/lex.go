@@ -1,0 +1,148 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokReal
+	tokString
+	tokOp     // one of the operator/punctuation strings below
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the source, for diagnostics
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits a ClassAd expression into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+var operators = []string{
+	// Longest first so that multi-character operators win.
+	"==", "!=", "<=", ">=", "&&", "||",
+	"<", ">", "+", "-", "*", "/", "%", "!", "(", ")", ".", ",",
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case c == '"':
+		return l.lexString()
+	case isDigit(c):
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			return token{kind: tokOp, text: op, pos: start}, nil
+		}
+	}
+	return token{}, fmt.Errorf("classad: unexpected character %q at offset %d", c, start)
+}
+
+// lexString scans a double-quoted literal and decodes it with Go's escape
+// syntax (strconv.Unquote), which is a superset of the escapes ClassAd
+// submit files use and exactly matches what Value.String emits — so every
+// rendered string value re-parses, control characters included.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '"':
+			l.pos++
+			decoded, err := strconv.Unquote(l.src[start:l.pos])
+			if err != nil {
+				return token{}, fmt.Errorf("classad: invalid string literal at offset %d: %v", start, err)
+			}
+			return token{kind: tokString, text: decoded, pos: start}, nil
+		case '\\':
+			l.pos += 2 // skip the escaped character, whatever it is
+		case '\n':
+			return token{}, fmt.Errorf("classad: newline in string literal at offset %d", l.pos)
+		default:
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("classad: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	isReal := false
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		isReal = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		// Exponent: e[+-]?digits
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			isReal = true
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save // not an exponent after all (e.g. "2e" is 2 then ident e)
+		}
+	}
+	kind := tokInt
+	if isReal {
+		kind = tokReal
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

@@ -1,0 +1,363 @@
+// Package classad implements the subset of the HTCondor ClassAd language the
+// scheduler integration needs: typed attribute lists ("ads"), an expression
+// language with three-valued logic, and symmetric matchmaking between job
+// and machine ads.
+//
+// The paper's system (§IV-D1) drives Condor entirely through ClassAds: each
+// compute node advertises its Xeon Phi devices and card memory; each job
+// advertises device/memory requests; and the external knapsack scheduler
+// pins jobs to nodes by rewriting the job's Requirements expression to
+// `Name == "<slotId>@<NodeName>"` via condor_qedit. Reproducing that
+// integration faithfully — including the fact that a pinned job still flows
+// through ordinary FIFO matchmaking on the next negotiation cycle — requires
+// a working expression evaluator, which this package provides.
+//
+// Supported expressions: integer/real/string/boolean literals, attribute
+// references (case-insensitive, optionally scoped with MY. or TARGET.),
+// arithmetic (+ - * / %), comparisons (== != < <= > >=; string equality is
+// case-insensitive as in Condor), boolean connectives (&& || !) with
+// ClassAd three-valued logic, and parentheses. Undefined and Error values
+// propagate per the ClassAd semantics.
+package classad
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates Value variants.
+type Kind int
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindError
+	KindBool
+	KindInt
+	KindReal
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a ClassAd value: one of undefined, error, boolean, integer,
+// real, or string. The zero Value is Undefined.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// Constructors.
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{kind: KindUndefined} }
+
+// ErrorValue returns the error value carrying a diagnostic message.
+func ErrorValue(msg string) Value { return Value{kind: KindError, s: msg} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Real returns a real (floating-point) value.
+func Real(f float64) Value { return Value{kind: KindReal, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is the undefined value.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsError reports whether v is the error value.
+func (v Value) IsError() bool { return v.kind == KindError }
+
+// BoolValue returns the boolean content; ok is false for non-booleans.
+func (v Value) BoolValue() (b, ok bool) { return v.b, v.kind == KindBool }
+
+// IntValue returns the integer content; ok is false for non-integers.
+func (v Value) IntValue() (int64, bool) { return v.i, v.kind == KindInt }
+
+// RealValue returns the numeric content of an integer or real value.
+func (v Value) RealValue() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindReal:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// StringValue returns the string content; ok is false for non-strings.
+func (v Value) StringValue() (string, bool) { return v.s, v.kind == KindString }
+
+// String renders the value in ClassAd literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		if v.s != "" {
+			return "error(" + v.s + ")"
+		}
+		return "error"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindReal:
+		// Non-finite reals have no literal syntax; arithmetic never
+		// produces them (see arith), but a caller could construct one.
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			return "error(non-finite real)"
+		}
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Keep the rendering re-parseable *as a real*: a value like
+		// -2500.0 would otherwise print as "-2500" and round-trip to an
+		// integer, changing the semantics of type-sensitive operators
+		// (integer vs real division, modulo).
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindString:
+		return strconv.Quote(v.s)
+	}
+	return "error(bad kind)"
+}
+
+// isNumeric reports whether v is an integer or real.
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindReal }
+
+// arith applies a binary arithmetic operator with ClassAd promotion rules:
+// int op int stays int (except /, which stays int with truncation, as in
+// Condor); any real operand promotes the result to real. Undefined operands
+// yield undefined; anything else that cannot be computed yields error.
+func arith(op string, a, b Value) Value {
+	if a.IsError() {
+		return a
+	}
+	if b.IsError() {
+		return b
+	}
+	if a.IsUndefined() || b.IsUndefined() {
+		return Undefined()
+	}
+	if !a.isNumeric() || !b.isNumeric() {
+		return ErrorValue(fmt.Sprintf("%s: non-numeric operand (%s, %s)", op, a.kind, b.kind))
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case "+":
+			return Int(a.i + b.i)
+		case "-":
+			return Int(a.i - b.i)
+		case "*":
+			return Int(a.i * b.i)
+		case "/":
+			if b.i == 0 {
+				return ErrorValue("division by zero")
+			}
+			return Int(a.i / b.i)
+		case "%":
+			if b.i == 0 {
+				return ErrorValue("modulo by zero")
+			}
+			return Int(a.i % b.i)
+		}
+		return ErrorValue("unknown arithmetic operator " + op)
+	}
+	af, _ := a.RealValue()
+	bf, _ := b.RealValue()
+	var res float64
+	switch op {
+	case "+":
+		res = af + bf
+	case "-":
+		res = af - bf
+	case "*":
+		res = af * bf
+	case "/":
+		if bf == 0 {
+			return ErrorValue("division by zero")
+		}
+		res = af / bf
+	case "%":
+		return ErrorValue("modulo on real operands")
+	default:
+		return ErrorValue("unknown arithmetic operator " + op)
+	}
+	// Overflow to infinity (or NaN) is an error, not a value: non-finite
+	// reals have no literal syntax and no sensible comparison semantics.
+	if math.IsInf(res, 0) || math.IsNaN(res) {
+		return ErrorValue("non-finite arithmetic result")
+	}
+	return Real(res)
+}
+
+// compare applies a comparison operator. String equality/inequality is
+// case-insensitive (Condor's == on strings); ordering comparisons on strings
+// use case-insensitive lexicographic order. Mixed string/number comparison
+// is an error; undefined operands yield undefined.
+func compare(op string, a, b Value) Value {
+	if a.IsError() {
+		return a
+	}
+	if b.IsError() {
+		return b
+	}
+	if a.IsUndefined() || b.IsUndefined() {
+		return Undefined()
+	}
+	switch {
+	case a.isNumeric() && b.isNumeric():
+		af, _ := a.RealValue()
+		bf, _ := b.RealValue()
+		return Bool(cmpOrd(op, cmpFloat(af, bf)))
+	case a.kind == KindString && b.kind == KindString:
+		return Bool(cmpOrd(op, strings.Compare(strings.ToLower(a.s), strings.ToLower(b.s))))
+	case a.kind == KindBool && b.kind == KindBool:
+		switch op {
+		case "==":
+			return Bool(a.b == b.b)
+		case "!=":
+			return Bool(a.b != b.b)
+		}
+		return ErrorValue("ordering comparison on booleans")
+	}
+	return ErrorValue(fmt.Sprintf("%s: mismatched operand types (%s, %s)", op, a.kind, b.kind))
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrd(op string, c int) bool {
+	switch op {
+	case "==":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// and implements ClassAd three-valued conjunction:
+// false && anything = false (even error, per strictness shortcut on the
+// left; we follow the common semantics where false dominates undefined).
+func and(a, b Value) Value {
+	if af, ok := a.BoolValue(); ok && !af {
+		return Bool(false)
+	}
+	if bf, ok := b.BoolValue(); ok && !bf {
+		return Bool(false)
+	}
+	if a.IsError() {
+		return a
+	}
+	if b.IsError() {
+		return b
+	}
+	if a.IsUndefined() || b.IsUndefined() {
+		return Undefined()
+	}
+	af, aok := a.BoolValue()
+	bf, bok := b.BoolValue()
+	if !aok || !bok {
+		return ErrorValue("&&: non-boolean operand")
+	}
+	return Bool(af && bf)
+}
+
+// or implements ClassAd three-valued disjunction: true dominates undefined.
+func or(a, b Value) Value {
+	if af, ok := a.BoolValue(); ok && af {
+		return Bool(true)
+	}
+	if bf, ok := b.BoolValue(); ok && bf {
+		return Bool(true)
+	}
+	if a.IsError() {
+		return a
+	}
+	if b.IsError() {
+		return b
+	}
+	if a.IsUndefined() || b.IsUndefined() {
+		return Undefined()
+	}
+	af, aok := a.BoolValue()
+	bf, bok := b.BoolValue()
+	if !aok || !bok {
+		return ErrorValue("||: non-boolean operand")
+	}
+	return Bool(af || bf)
+}
+
+// not implements three-valued negation.
+func not(a Value) Value {
+	if a.IsError() || a.IsUndefined() {
+		return a
+	}
+	if b, ok := a.BoolValue(); ok {
+		return Bool(!b)
+	}
+	return ErrorValue("!: non-boolean operand")
+}
+
+// neg implements unary numeric negation.
+func neg(a Value) Value {
+	if a.IsError() || a.IsUndefined() {
+		return a
+	}
+	switch a.kind {
+	case KindInt:
+		return Int(-a.i)
+	case KindReal:
+		return Real(-a.f)
+	}
+	return ErrorValue("unary -: non-numeric operand")
+}

@@ -1,0 +1,229 @@
+// Package coi reimplements the narrow slice of Intel's Coprocessor Offload
+// Infrastructure that the offload compiler targets (§II-B): device
+// processes, named buffers, and run functions. It is the programming-model
+// frontend of the stack — the paper's Fig. 1 pragma
+//
+//	#pragma offload target(mic:1) in(a: length(SIZE)) in(b: length(SIZE))
+//	                              inout(c: length(SIZE))
+//	for (i = 0; i < SIZE; i++) c[i] = a[i] + b[i];
+//
+// compiles to exactly this sequence: allocate device buffers, DMA the in()
+// buffers across PCIe, launch the kernel as a COI run function, DMA the
+// out() buffers back.
+//
+// A Program is that statement sequence plus the job's declared resource
+// requirements. Lower compiles it to a job.Job phase profile — transfers
+// attached to their kernels, host compute between offloads — which the
+// standard runner executes against the simulated device and link. Examples
+// and tests use it to express workloads the way an offload programmer
+// would, instead of hand-writing phase lists.
+package coi
+
+import (
+	"fmt"
+
+	"phishare/internal/job"
+	"phishare/internal/units"
+)
+
+// Stmt is one statement of an offload program.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Alloc creates a named device buffer (COIBufferCreate). Buffer memory
+// counts toward the process's device footprint.
+type Alloc struct {
+	Buffer string
+	Size   units.MB
+}
+
+// WriteBuffer DMAs a host buffer to the device (an in() clause).
+type WriteBuffer struct {
+	Buffer string
+}
+
+// ReadBuffer DMAs a device buffer back to the host (an out() clause).
+type ReadBuffer struct {
+	Buffer string
+}
+
+// RunFunction launches a kernel on the device (COIPipelineRunFunction):
+// the offload region itself.
+type RunFunction struct {
+	Name     string
+	Duration units.Tick
+	Threads  units.Threads
+}
+
+// HostCompute is host-side work between offloads.
+type HostCompute struct {
+	Duration units.Tick
+}
+
+func (Alloc) stmt()       {}
+func (WriteBuffer) stmt() {}
+func (ReadBuffer) stmt()  {}
+func (RunFunction) stmt() {}
+func (HostCompute) stmt() {}
+
+func (s Alloc) String() string       { return fmt.Sprintf("alloc %s %v", s.Buffer, s.Size) }
+func (s WriteBuffer) String() string { return "write " + s.Buffer }
+func (s ReadBuffer) String() string  { return "read " + s.Buffer }
+func (s RunFunction) String() string {
+	return fmt.Sprintf("run %s %v %v", s.Name, s.Duration, s.Threads)
+}
+func (s HostCompute) String() string { return fmt.Sprintf("host %v", s.Duration) }
+
+// Program is an offload application: declared resources plus the statement
+// sequence the compiler emitted.
+type Program struct {
+	Name string
+	// DeclMem and DeclThreads are what the user's submit file declares —
+	// the knapsack's inputs. Validate checks them against the program.
+	DeclMem     units.MB
+	DeclThreads units.Threads
+	Stmts       []Stmt
+}
+
+// Validate checks program well-formedness: buffers allocated before use,
+// kernels within declared threads, buffer footprint within declared
+// memory, and at least one statement.
+func (p *Program) Validate() error {
+	if len(p.Stmts) == 0 {
+		return fmt.Errorf("coi: program %s is empty", p.Name)
+	}
+	if p.DeclMem <= 0 || p.DeclThreads <= 0 {
+		return fmt.Errorf("coi: program %s missing resource declarations", p.Name)
+	}
+	buffers := map[string]units.MB{}
+	var footprint units.MB
+	for i, s := range p.Stmts {
+		switch st := s.(type) {
+		case Alloc:
+			if st.Size <= 0 {
+				return fmt.Errorf("coi: %s stmt %d: non-positive buffer size", p.Name, i)
+			}
+			if _, dup := buffers[st.Buffer]; dup {
+				return fmt.Errorf("coi: %s stmt %d: buffer %q reallocated", p.Name, i, st.Buffer)
+			}
+			buffers[st.Buffer] = st.Size
+			footprint += st.Size
+		case WriteBuffer:
+			if _, ok := buffers[st.Buffer]; !ok {
+				return fmt.Errorf("coi: %s stmt %d: write to unallocated buffer %q", p.Name, i, st.Buffer)
+			}
+		case ReadBuffer:
+			if _, ok := buffers[st.Buffer]; !ok {
+				return fmt.Errorf("coi: %s stmt %d: read from unallocated buffer %q", p.Name, i, st.Buffer)
+			}
+		case RunFunction:
+			if st.Duration <= 0 {
+				return fmt.Errorf("coi: %s stmt %d: non-positive kernel duration", p.Name, i)
+			}
+			if st.Threads <= 0 || st.Threads > p.DeclThreads {
+				return fmt.Errorf("coi: %s stmt %d: kernel threads %v outside (0, %v]",
+					p.Name, i, st.Threads, p.DeclThreads)
+			}
+		case HostCompute:
+			if st.Duration <= 0 {
+				return fmt.Errorf("coi: %s stmt %d: non-positive host duration", p.Name, i)
+			}
+		default:
+			return fmt.Errorf("coi: %s stmt %d: unknown statement %T", p.Name, i, s)
+		}
+	}
+	if footprint > p.DeclMem {
+		return fmt.Errorf("coi: %s buffer footprint %v exceeds declared memory %v",
+			p.Name, footprint, p.DeclMem)
+	}
+	return nil
+}
+
+// Lower compiles the program into a schedulable job: host statements become
+// host phases; each RunFunction becomes an offload phase carrying the DMA
+// of the WriteBuffers since the previous kernel (its in() clauses) and the
+// ReadBuffers up to the next host/kernel boundary (its out() clauses). The
+// job's true peak memory is the total buffer footprint.
+func (p *Program) Lower(id int) (*job.Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buffers := map[string]units.MB{}
+	var footprint units.MB
+
+	j := &job.Job{
+		ID:       id,
+		Name:     fmt.Sprintf("%s#%d", p.Name, id),
+		Workload: p.Name,
+		Mem:      p.DeclMem,
+		Threads:  p.DeclThreads,
+	}
+
+	var pendingIn units.MB
+	lastOffload := -1 // index in j.Phases of the most recent offload
+	for _, s := range p.Stmts {
+		switch st := s.(type) {
+		case Alloc:
+			buffers[st.Buffer] = st.Size
+			footprint += st.Size
+		case WriteBuffer:
+			pendingIn += buffers[st.Buffer]
+		case ReadBuffer:
+			if lastOffload < 0 {
+				return nil, fmt.Errorf("coi: %s reads buffer %q before any kernel ran", p.Name, st.Buffer)
+			}
+			j.Phases[lastOffload].TransferOut += buffers[st.Buffer]
+		case RunFunction:
+			j.Phases = append(j.Phases, job.Phase{
+				Kind:       job.OffloadPhase,
+				Duration:   st.Duration,
+				Threads:    st.Threads,
+				TransferIn: pendingIn,
+			})
+			pendingIn = 0
+			lastOffload = len(j.Phases) - 1
+		case HostCompute:
+			j.Phases = append(j.Phases, job.Phase{
+				Kind:     job.HostPhase,
+				Duration: st.Duration,
+			})
+		}
+	}
+	if pendingIn > 0 {
+		return nil, fmt.Errorf("coi: %s writes buffers after the last kernel", p.Name)
+	}
+	if lastOffload < 0 {
+		return nil, fmt.Errorf("coi: %s has no offload region", p.Name)
+	}
+	j.ActualPeakMem = footprint
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("coi: lowering %s produced an invalid job: %w", p.Name, err)
+	}
+	return j, nil
+}
+
+// VectorAdd builds the paper's Fig. 1 program: three SIZE-length arrays,
+// a and b in, c inout, one parallel loop offloaded to the coprocessor.
+// sizeMB is the per-array payload; kernel duration and threads parameterize
+// the loop body's cost.
+func VectorAdd(sizeMB units.MB, kernel units.Tick, threads units.Threads) *Program {
+	return &Program{
+		Name:        "vecadd",
+		DeclMem:     3*sizeMB + 64, // arrays + runtime slack
+		DeclThreads: threads,
+		Stmts: []Stmt{
+			HostCompute{Duration: 500 * units.Millisecond}, // host setup
+			Alloc{Buffer: "a", Size: sizeMB},
+			Alloc{Buffer: "b", Size: sizeMB},
+			Alloc{Buffer: "c", Size: sizeMB},
+			WriteBuffer{Buffer: "a"},  // in(a: length(SIZE))
+			WriteBuffer{Buffer: "b"},  // in(b: length(SIZE))
+			WriteBuffer{Buffer: "c"},  // inout sends c too
+			RunFunction{Name: "vecadd_kernel", Duration: kernel, Threads: threads},
+			ReadBuffer{Buffer: "c"},   // inout returns c
+			HostCompute{Duration: 500 * units.Millisecond}, // host consumes c
+		},
+	}
+}

@@ -1,0 +1,627 @@
+// Package condor simulates the HTCondor subset the paper's system is built
+// on (§II-D, §IV-D1): a central manager (collector + negotiator), machine
+// and job ClassAds, periodic FIFO matchmaking, claims, and shadow/starter
+// dispatch latency.
+//
+// Scheduling policy is pluggable. The three cluster software configurations
+// of the evaluation map onto policies:
+//
+//   - MC   (MPSS+Condor): exclusive device allocation (package scheduler)
+//   - MCC  (+COSMIC): random packing subject to declared memory (scheduler)
+//   - MCCK (+knapsack cluster scheduler): the paper's contribution
+//     (package core), integrating exactly as described — it edits pending
+//     jobs' Requirements via condor_qedit-style rewrites and waits for the
+//     next negotiation cycle to take effect.
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phishare/internal/classad"
+	"phishare/internal/cluster"
+	"phishare/internal/job"
+	"phishare/internal/metrics"
+	"phishare/internal/runner"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// Well-known ClassAd attribute names used across the system. Machines
+// advertise Phi resources (obtained from micinfo in the real system); jobs
+// advertise their requests.
+const (
+	AttrName               = "Name"
+	AttrPhiDevices         = "PhiDevices"
+	AttrPhiFreeDevices     = "PhiFreeDevices"
+	AttrPhiMemory          = "PhiMemory"
+	AttrPhiFreeMemory      = "PhiFreeMemory"
+	AttrPhiThreads         = "PhiThreads"
+	AttrPhiResidentThreads = "PhiResidentThreads"
+	AttrResidentJobs       = "ResidentJobs"
+	AttrJobID              = "JobId"
+	AttrRequestPhiMemory   = "RequestPhiMemory"
+	AttrRequestPhiThreads  = "RequestPhiThreads"
+	AttrRequestPhiDevices  = "RequestPhiDevices"
+	AttrHostSlots          = "HostSlots"
+	AttrJobPrio            = "JobPrio"
+)
+
+// JobState tracks a queued job through its lifecycle.
+type JobState int
+
+const (
+	// Idle: pending in the schedd queue, waiting to be matched.
+	Idle JobState = iota
+	// Dispatched: matched and claimed; in shadow/starter transfer or
+	// running on its machine.
+	Dispatched
+	// Completed: finished successfully.
+	Completed
+	// Failed: crashed more times than the retry budget allows.
+	Failed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Dispatched:
+		return "dispatched"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// QueuedJob is a job in the schedd queue together with its ClassAd and
+// lifecycle bookkeeping.
+type QueuedJob struct {
+	Job *job.Job
+	Ad  *classad.Ad
+
+	// Priority orders matchmaking: higher first, FIFO within a level
+	// (Condor's JobPrio). Zero by default.
+	Priority int
+	// User is the submitting user, for fair-share scheduling (Condor's
+	// user priorities). Empty means the anonymous default user.
+	User string
+
+	State      JobState
+	SubmitTime units.Tick
+	StartTime  units.Tick // first dispatch
+	EndTime    units.Tick
+	Crashes    int
+	Machine    *Machine // current/last machine
+	started    bool
+}
+
+// Machine is one advertised slot: a device unit plus its ClassAd and the
+// collector-side resource bookkeeping (free declared memory, resident
+// declared threads).
+type Machine struct {
+	Name string
+	Unit *cluster.DeviceUnit
+	Ad   *classad.Ad
+
+	FreeMem         units.MB
+	ResidentThreads units.Threads
+	Resident        []*QueuedJob
+	MaxResident     int
+	// HostSlots is the machine's resident-job capacity (from Config).
+	HostSlots int
+}
+
+// AtCapacity reports whether every host slot is claimed.
+func (m *Machine) AtCapacity() bool { return len(m.Resident) >= m.HostSlots }
+
+// FreeSlots is the number of unclaimed host slots.
+func (m *Machine) FreeSlots() int {
+	n := m.HostSlots - len(m.Resident)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// updateAd refreshes the advertised resource levels (the periodic startd →
+// collector ClassAd update, applied eagerly here).
+func (m *Machine) updateAd() {
+	free := 0
+	if len(m.Resident) == 0 {
+		free = 1
+	}
+	m.Ad.SetInt(AttrPhiFreeDevices, int64(free))
+	m.Ad.SetInt(AttrPhiFreeMemory, int64(m.FreeMem))
+	m.Ad.SetInt(AttrPhiResidentThreads, int64(m.ResidentThreads))
+	m.Ad.SetInt(AttrResidentJobs, int64(len(m.Resident)))
+}
+
+// ExternalPolicy is implemented by policies that run as an external module
+// outside the Condor negotiator (the paper's transparent add-on, §IV-D1):
+// they react to collector updates, compute placements, and push qedits back
+// before matchmaking can proceed. ExtraDelay is that reaction time; it is
+// added to every negotiation trigger and is the integration overhead the
+// paper observes ("having to wait for Condor's scheduling cycle", Fig. 8).
+type ExternalPolicy interface {
+	ExtraDelay() units.Tick
+}
+
+// Policy is the pluggable cluster-level scheduling behaviour.
+type Policy interface {
+	// Name identifies the configuration (e.g. "MC", "MCC", "MCCK").
+	Name() string
+	// MachineRequirements is the Requirements expression installed on every
+	// machine ad — the node-side admission guard. Return "true" for an
+	// oversubscription-agnostic cluster (the §III strawman).
+	MachineRequirements() string
+	// PrepareJobAd populates a job's ad (including its initial
+	// Requirements) at submission time.
+	PrepareJobAd(q *QueuedJob)
+	// PreNegotiation runs at the start of each negotiation cycle, before
+	// matchmaking; MCCK computes its knapsack plan here and applies it as
+	// one batch of qedits.
+	PreNegotiation(p *Pool)
+	// Select chooses among machines whose ads matched the job; return -1
+	// to leave the job idle this cycle. candidates is non-empty.
+	Select(p *Pool, q *QueuedJob, candidates []*Machine) int
+	// PostNegotiation runs after matchmaking, for policies that want to
+	// observe the cycle's outcome.
+	PostNegotiation(p *Pool)
+}
+
+// Config tunes the Condor mechanics.
+type Config struct {
+	// NegotiationCycle is the periodic matchmaking interval. HTCondor's
+	// NEGOTIATOR_INTERVAL defaults to 60 s, but negotiation is also
+	// triggered by queue activity; with completion-triggered cycles
+	// (NotifyDelay) the period mostly bounds staleness. Default 10 s.
+	NegotiationCycle units.Tick
+	// NotifyDelay is the lag between a completion/submission and the
+	// negotiation it triggers (collector update propagation). Default 2 s.
+	NotifyDelay units.Tick
+	// DispatchLatency models the shadow/starter handshake and input file
+	// transfer between match and job start. Default 1 s.
+	DispatchLatency units.Tick
+	// MaxRetries resubmits a crashed job up to this many times before
+	// marking it Failed. Default 0 (crashes are terminal).
+	MaxRetries int
+	// StallLimit aborts the run after this many consecutive empty
+	// negotiations with an idle cluster, failing unmatchable jobs instead
+	// of looping forever. Default 5.
+	StallLimit int
+	// ClaimReuse lets a machine whose job just finished immediately start
+	// the first pending job that matches it, without waiting for the next
+	// negotiation cycle — HTCondor's claim leasing. It removes most of the
+	// per-job scheduling latency (ablation A6). Off by default: the
+	// paper-faithful configuration pays the negotiation path on every job.
+	ClaimReuse bool
+	// FairShare enables user-level fair-share matchmaking: each cycle,
+	// pending jobs are scanned in ascending order of their user's
+	// accumulated device time, so a user who just submitted five jobs is
+	// not starved behind another's backlog of hundreds (Condor's user
+	// priorities; cf. the fairness-centric schedulers in the paper's
+	// related work). Off by default — the paper's experiments are
+	// single-user.
+	FairShare bool
+	// HostSlots caps concurrently resident jobs per machine: every job's
+	// host portion occupies a Condor slot on the node's Xeon processors
+	// (§IV-D1: "each host processor on a compute node is represented as a
+	// slot... only one job can run on one slot at a time"). The paper's
+	// servers have two 8-core host Xeons; an offload job keeps roughly a
+	// socket busy, so the default is 4 slots per device. Default 4.
+	HostSlots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NegotiationCycle == 0 {
+		c.NegotiationCycle = 10 * units.Second
+	}
+	if c.NotifyDelay == 0 {
+		c.NotifyDelay = 2 * units.Second
+	}
+	if c.DispatchLatency == 0 {
+		c.DispatchLatency = 1 * units.Second
+	}
+	if c.StallLimit == 0 {
+		c.StallLimit = 5
+	}
+	if c.HostSlots == 0 {
+		c.HostSlots = 4
+	}
+	return c
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Negotiations int
+	Matches      int
+	Qedits       int
+	Resubmits    int
+	Stalled      int // jobs failed by the stall breaker
+	ClaimReuses  int // dispatches that skipped negotiation (Config.ClaimReuse)
+}
+
+// Pool is the Condor pool: central manager plus the machine inventory.
+type Pool struct {
+	eng    *sim.Engine
+	clu    *cluster.Cluster
+	cfg    Config
+	policy Policy
+
+	machines []*Machine
+	jobs     []*QueuedJob
+	pending  []*QueuedJob
+	inFlight int // dispatched but not yet terminal
+
+	negGen        uint64
+	negScheduled  bool
+	nextNegAt     units.Tick
+	emptyCycles   int
+	makespan      units.Tick
+	stats         Stats
+
+	// usage accumulates per-user device time (claim duration) for
+	// fair-share ordering.
+	usage map[string]units.Tick
+
+	// OnTerminal, if set, is invoked whenever a job reaches Completed or
+	// Failed — the hook external tooling (e.g. the resource estimator
+	// extension) uses to observe outcomes as they happen.
+	OnTerminal func(*QueuedJob)
+	// Log, if set, records job lifecycle events (HTCondor's user log).
+	Log *EventLog
+}
+
+// NewPool builds a pool over the cluster with the given policy.
+func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *Pool {
+	p := &Pool{eng: eng, clu: clu, cfg: cfg.withDefaults(), policy: policy,
+		usage: map[string]units.Tick{}}
+	for _, unit := range clu.Units {
+		m := &Machine{
+			Name:      unit.SlotName,
+			Unit:      unit,
+			Ad:        classad.NewAd(),
+			FreeMem:   unit.Device.Config().Memory,
+			HostSlots: p.cfg.HostSlots,
+		}
+		m.Ad.SetStr(AttrName, m.Name)
+		m.Ad.SetInt(AttrPhiDevices, 1)
+		m.Ad.SetInt(AttrHostSlots, int64(m.HostSlots))
+		m.Ad.SetInt(AttrPhiMemory, int64(unit.Device.Config().Memory))
+		m.Ad.SetInt(AttrPhiThreads, int64(unit.Device.Config().HWThreads()))
+		m.Ad.MustSetExpr(classad.RequirementsAttr, policy.MachineRequirements())
+		m.updateAd()
+		p.machines = append(p.machines, m)
+	}
+	return p
+}
+
+// Machines exposes the machine inventory (fixed order).
+func (p *Pool) Machines() []*Machine { return p.machines }
+
+// Pending returns the idle jobs in FIFO order. The slice is shared; policies
+// must not reorder it.
+func (p *Pool) Pending() []*QueuedJob { return p.pending }
+
+// Jobs returns every submitted job.
+func (p *Pool) Jobs() []*QueuedJob { return p.jobs }
+
+// Stats returns activity counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Makespan is the completion time of the last terminal job.
+func (p *Pool) Makespan() units.Tick { return p.makespan }
+
+// Config returns the (defaulted) pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Submit enqueues jobs at the current time (priority 0) and triggers
+// negotiation.
+func (p *Pool) Submit(jobs []*job.Job) { p.SubmitWithPriority(jobs, 0) }
+
+// SubmitWithPriority enqueues jobs with the given matchmaking priority
+// (Condor's JobPrio: higher is served first; FIFO within a level).
+func (p *Pool) SubmitWithPriority(jobs []*job.Job, priority int) {
+	p.SubmitAs("", jobs, priority)
+}
+
+// SubmitAs enqueues jobs on behalf of user, for fair-share accounting.
+func (p *Pool) SubmitAs(user string, jobs []*job.Job, priority int) {
+	for _, j := range jobs {
+		q := &QueuedJob{Job: j, Ad: classad.NewAd(), SubmitTime: p.eng.Now(),
+			Priority: priority, User: user}
+		q.Ad.SetInt(AttrJobID, int64(j.ID))
+		q.Ad.SetInt(AttrRequestPhiMemory, int64(j.Mem))
+		q.Ad.SetInt(AttrRequestPhiThreads, int64(j.Threads))
+		q.Ad.SetInt(AttrRequestPhiDevices, 1)
+		q.Ad.SetInt(AttrJobPrio, int64(priority))
+		p.policy.PrepareJobAd(q)
+		p.jobs = append(p.jobs, q)
+		p.insertPending(q)
+		p.record(EventSubmit, q, "")
+	}
+	p.requestNegotiation(p.cfg.NotifyDelay)
+}
+
+// insertPending keeps the pending queue ordered by (priority desc, arrival)
+// so the FIFO scan of negotiate respects priorities.
+func (p *Pool) insertPending(q *QueuedJob) {
+	i := len(p.pending)
+	for i > 0 && p.pending[i-1].Priority < q.Priority {
+		i--
+	}
+	p.pending = append(p.pending, nil)
+	copy(p.pending[i+1:], p.pending[i:])
+	p.pending[i] = q
+}
+
+// Qedit rewrites a pending job's Requirements, the condor_qedit integration
+// point the knapsack scheduler uses to pin jobs to slots (§IV-D1).
+func (p *Pool) Qedit(q *QueuedJob, requirements string) {
+	if err := q.Ad.SetExpr(classad.RequirementsAttr, requirements); err != nil {
+		panic(fmt.Sprintf("condor: qedit of job %d: %v", q.Job.ID, err))
+	}
+	p.stats.Qedits++
+}
+
+// requestNegotiation schedules a negotiation after delay, keeping only the
+// earliest outstanding request. External policies add their reaction time.
+func (p *Pool) requestNegotiation(delay units.Tick) {
+	if ext, ok := p.policy.(ExternalPolicy); ok {
+		delay += ext.ExtraDelay()
+	}
+	at := p.eng.Now() + delay
+	if p.negScheduled && p.nextNegAt <= at {
+		return
+	}
+	p.negGen++
+	gen := p.negGen
+	p.negScheduled = true
+	p.nextNegAt = at
+	p.eng.At(at, func() {
+		if gen != p.negGen {
+			return // superseded by an earlier request
+		}
+		p.negScheduled = false
+		p.negotiate()
+	})
+}
+
+// negotiate runs one matchmaking cycle: policy pre-hook, FIFO scan of
+// pending jobs against machine ads, claims and dispatches, policy post-hook.
+func (p *Pool) negotiate() {
+	p.stats.Negotiations++
+	p.policy.PreNegotiation(p)
+
+	if p.cfg.FairShare {
+		// Least-served users first; stable, so priority and arrival order
+		// survive within each user.
+		sort.SliceStable(p.pending, func(i, j int) bool {
+			return p.usage[p.pending[i].User] < p.usage[p.pending[j].User]
+		})
+	}
+
+	matched := 0
+	var still []*QueuedJob
+	for _, q := range p.pending {
+		var candidates []*Machine
+		for _, m := range p.machines {
+			// A machine with no free host slot cannot accept any job,
+			// whatever the ads say: the starter has nowhere to run.
+			if m.AtCapacity() {
+				continue
+			}
+			if classad.Match(m.Ad, q.Ad) {
+				candidates = append(candidates, m)
+			}
+		}
+		idx := -1
+		if len(candidates) > 0 {
+			idx = p.policy.Select(p, q, candidates)
+		}
+		if idx < 0 || idx >= len(candidates) {
+			still = append(still, q)
+			continue
+		}
+		p.claim(q, candidates[idx])
+		matched++
+	}
+	p.pending = still
+	p.stats.Matches += matched
+
+	p.policy.PostNegotiation(p)
+
+	if matched == 0 && p.inFlight == 0 {
+		p.emptyCycles++
+	} else {
+		p.emptyCycles = 0
+	}
+	if p.emptyCycles >= p.cfg.StallLimit {
+		// Nothing can ever match the rest (e.g. a job larger than any
+		// device): fail them rather than negotiate forever.
+		for _, q := range p.pending {
+			q.State = Failed
+			q.EndTime = p.eng.Now()
+			p.noteEnd(q.EndTime)
+			p.stats.Stalled++
+			p.record(EventStallAbort, q, "")
+			if p.OnTerminal != nil {
+				p.OnTerminal(q)
+			}
+		}
+		p.pending = nil
+		return
+	}
+	if len(p.pending) > 0 {
+		p.requestNegotiation(p.cfg.NegotiationCycle)
+	}
+}
+
+// claim reserves the machine's advertised resources and dispatches the job
+// through the shadow/starter path.
+func (p *Pool) claim(q *QueuedJob, m *Machine) {
+	q.State = Dispatched
+	q.Machine = m
+	m.FreeMem -= q.Job.Mem
+	m.ResidentThreads += q.Job.Threads
+	m.Resident = append(m.Resident, q)
+	if len(m.Resident) > m.MaxResident {
+		m.MaxResident = len(m.Resident)
+	}
+	m.updateAd()
+	p.inFlight++
+	p.record(EventMatch, q, m.Name)
+
+	p.eng.After(p.cfg.DispatchLatency, func() {
+		if !q.started {
+			q.started = true
+			q.StartTime = p.eng.Now()
+		}
+		p.record(EventExecute, q, m.Name)
+		runner.Run(p.eng, m.Unit, q.Job, func(r runner.Result) {
+			p.jobDone(q, m, r)
+		})
+	})
+}
+
+// jobDone releases the claim and either retires or resubmits the job.
+func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
+	p.usage[q.User] += p.eng.Now() - q.StartTime
+	m.FreeMem += q.Job.Mem
+	m.ResidentThreads -= q.Job.Threads
+	for i, x := range m.Resident {
+		if x == q {
+			m.Resident = append(m.Resident[:i], m.Resident[i+1:]...)
+			break
+		}
+	}
+	m.updateAd()
+	p.inFlight--
+
+	if r.Outcome == runner.Crashed {
+		q.Crashes++
+		p.record(EventCrash, q, m.Name)
+		if q.Crashes <= p.cfg.MaxRetries {
+			q.State = Idle
+			p.policy.PrepareJobAd(q) // reset Requirements for a fresh match
+			p.insertPending(q)
+			p.stats.Resubmits++
+			p.record(EventResubmit, q, "")
+			p.requestNegotiation(p.cfg.NotifyDelay)
+			return
+		}
+		q.State = Failed
+	} else {
+		q.State = Completed
+		p.record(EventTerminate, q, m.Name)
+	}
+	q.EndTime = p.eng.Now()
+	p.noteEnd(q.EndTime)
+	if p.OnTerminal != nil {
+		p.OnTerminal(q)
+	}
+	if p.cfg.ClaimReuse {
+		p.reuseClaim(m)
+	}
+	if len(p.pending) > 0 {
+		p.requestNegotiation(p.cfg.NotifyDelay)
+	}
+}
+
+// reuseClaim hands the vacated machine to the first pending job that
+// matches it, skipping the negotiation round trip (Condor claim leasing).
+func (p *Pool) reuseClaim(m *Machine) {
+	if m.AtCapacity() {
+		return
+	}
+	for i, q := range p.pending {
+		if classad.Match(m.Ad, q.Ad) {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			p.stats.ClaimReuses++
+			p.claim(q, m)
+			return
+		}
+	}
+}
+
+func (p *Pool) noteEnd(t units.Tick) {
+	if t > p.makespan {
+		p.makespan = t
+	}
+}
+
+// Done reports whether every submitted job reached a terminal state.
+func (p *Pool) Done() bool {
+	for _, q := range p.jobs {
+		if q.State != Completed && q.State != Failed {
+			return false
+		}
+	}
+	return true
+}
+
+// Records converts the job queue into metrics records.
+func (p *Pool) Records() []metrics.JobRecord {
+	recs := make([]metrics.JobRecord, 0, len(p.jobs))
+	for _, q := range p.jobs {
+		rec := metrics.JobRecord{
+			ID:         q.Job.ID,
+			Workload:   q.Job.Workload,
+			SubmitTime: q.SubmitTime,
+			StartTime:  q.StartTime,
+			EndTime:    q.EndTime,
+			Completed:  q.State == Completed,
+			Crashes:    q.Crashes,
+		}
+		if q.Machine != nil {
+			rec.Machine = q.Machine.Name
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// Usage returns the user's accumulated device time (fair-share metric).
+func (p *Pool) Usage(user string) units.Tick { return p.usage[user] }
+
+// Status renders a condor_status-style table of the pool: one line per
+// machine with its residency and advertised resources, then queue totals.
+func (p *Pool) Status() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %6s %6s %10s %10s\n", "Name", "Jobs", "Slots", "FreeMem", "ResThreads")
+	for _, m := range p.machines {
+		fmt.Fprintf(&sb, "%-16s %6d %6d %10v %10v\n",
+			m.Name, len(m.Resident), m.HostSlots, m.FreeMem, m.ResidentThreads)
+	}
+	idle, running, completed, failed := 0, 0, 0, 0
+	for _, q := range p.jobs {
+		switch q.State {
+		case Idle:
+			idle++
+		case Dispatched:
+			running++
+		case Completed:
+			completed++
+		case Failed:
+			failed++
+		}
+	}
+	fmt.Fprintf(&sb, "jobs: %d idle, %d running, %d completed, %d failed\n",
+		idle, running, completed, failed)
+	return sb.String()
+}
+
+// MaxConcurrency returns the peak number of jobs resident on any machine.
+func (p *Pool) MaxConcurrency() int {
+	max := 0
+	for _, m := range p.machines {
+		if m.MaxResident > max {
+			max = m.MaxResident
+		}
+	}
+	return max
+}

@@ -1,0 +1,291 @@
+package core_test
+
+import (
+	"testing"
+
+	"phishare/internal/cluster"
+	"phishare/internal/condor"
+	"phishare/internal/core"
+	"phishare/internal/job"
+	"phishare/internal/knapsack"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+func mkJob(id int, mem units.MB, threads units.Threads) *job.Job {
+	return &job.Job{
+		ID: id, Name: "j", Workload: "test",
+		Mem: mem, Threads: threads, ActualPeakMem: units.MB(float64(mem) * 0.9),
+		Phases: []job.Phase{
+			{Kind: job.HostPhase, Duration: units.Second},
+			{Kind: job.OffloadPhase, Duration: 2 * units.Second, Threads: threads},
+		},
+	}
+}
+
+// planRig builds a pool with jobs submitted and a first negotiation already
+// run, so the scheduler has a plan. It returns the pool and scheduler
+// before the plan is applied.
+func planRig(t *testing.T, cfg core.Config, nodes int, jobs []*job.Job) (*sim.Engine, *condor.Pool, *core.Scheduler) {
+	t.Helper()
+	eng := sim.New()
+	eng.MaxSteps = 10_000_000
+	clu := cluster.New(eng, cluster.Config{Nodes: nodes, UseCosmic: true, Seed: 1})
+	s := core.New(cfg)
+	pool := condor.NewPool(eng, clu, s, condor.Config{})
+	pool.Submit(jobs)
+	return eng, pool, s
+}
+
+func TestValueFunctions(t *testing.T) {
+	if core.Eq1(120, 240) != 750 {
+		t.Errorf("Eq1(120) = %d, want 750", core.Eq1(120, 240))
+	}
+	if core.Linear(120, 240) != 500 {
+		t.Errorf("Linear(120) = %d, want 500", core.Linear(120, 240))
+	}
+	if core.Linear(300, 240) != 0 || core.Linear(-5, 240) != knapsack.Eq1Scale {
+		t.Error("Linear clamping wrong")
+	}
+	if core.Unit(240, 240) != knapsack.Eq1Scale || core.Unit(0, 240) != knapsack.Eq1Scale {
+		t.Error("Unit should ignore threads")
+	}
+}
+
+func TestLinearPanicsOnZeroT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Linear with T=0 did not panic")
+		}
+	}()
+	core.Linear(60, 0)
+}
+
+func TestJobsUnmatchableUntilPinned(t *testing.T) {
+	// Before any negotiation, MCCK jobs have Requirements=false and match
+	// nothing; the first cycle computes the plan, qedits, and matches the
+	// pinned jobs in one pass (§IV-D1: the qedits trigger the cycle).
+	jobs := []*job.Job{mkJob(0, 500, 60), mkJob(1, 500, 60)}
+	eng, pool, s := planRig(t, core.Config{}, 1, jobs)
+	// Run just past the first negotiation (NotifyDelay 2 s + reaction 1 s).
+	eng.RunUntil(4 * units.Second)
+	if got := pool.Stats().Matches; got != 2 {
+		t.Errorf("matches after first cycle = %d, want 2", got)
+	}
+	if s.PlannedCount() != 2 {
+		t.Errorf("planned %d jobs, want 2", s.PlannedCount())
+	}
+	if pool.Stats().Qedits < 2 {
+		t.Errorf("qedits = %d, want >= 2", pool.Stats().Qedits)
+	}
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("pool not done")
+	}
+	for _, q := range pool.Jobs() {
+		if q.State != condor.Completed {
+			t.Errorf("job %d state %v", q.Job.ID, q.State)
+		}
+	}
+}
+
+func TestConcurrencyPacking(t *testing.T) {
+	// One device, thread budget 240: four 60-thread jobs should all be
+	// planned onto it in one round (value-maximal and count-maximal).
+	jobs := []*job.Job{
+		mkJob(0, 500, 60), mkJob(1, 500, 60), mkJob(2, 500, 60), mkJob(3, 500, 60),
+	}
+	eng, pool, s := planRig(t, core.Config{}, 1, jobs)
+	eng.RunUntil(3 * units.Second)
+	if s.PlannedCount() != 4 {
+		t.Errorf("planned %d, want all 4 small jobs on one device", s.PlannedCount())
+	}
+	eng.Run()
+	if pool.MaxConcurrency() != 4 {
+		t.Errorf("max concurrency %d, want 4", pool.MaxConcurrency())
+	}
+}
+
+func TestPrefersLowThreadJobs(t *testing.T) {
+	// Two devices; jobs: 2x240-thread and 4x60-thread, all 2 GB. The
+	// knapsack should group the low-thread jobs (high value) on one device
+	// rather than mixing them under the 240-thread budget with big jobs.
+	jobs := []*job.Job{
+		mkJob(0, 2000, 240), mkJob(1, 2000, 240),
+		mkJob(2, 2000, 60), mkJob(3, 2000, 60), mkJob(4, 2000, 60), mkJob(5, 2000, 60),
+	}
+	eng, pool, _ := planRig(t, core.Config{}, 2, jobs)
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("not done")
+	}
+	// First planning round: device 1 gets the best 2-D set. With 8 GB
+	// memory and 240 threads, that is the four 60-thread jobs
+	// (value 4*938 >> any mix). Verify via placement of jobs 2-5.
+	firstDevice := ""
+	together := 0
+	for _, q := range pool.Jobs() {
+		if q.Job.ID >= 2 {
+			if firstDevice == "" {
+				firstDevice = q.Machine.Name
+			}
+			if q.Machine.Name == firstDevice {
+				together++
+			}
+		}
+	}
+	if together != 4 {
+		t.Errorf("low-thread jobs split across devices (%d together), want 4 on one", together)
+	}
+}
+
+func TestFillStagePacksValueZeroJobs(t *testing.T) {
+	// High-resource skew: all jobs 240 threads (Eq.1 value 0), 2 GB. The
+	// 2-D stage picks one (240-thread budget); the fill stage must add
+	// more up to memory, so concurrency exceeds 1.
+	var jobs []*job.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, mkJob(i, 2000, 240))
+	}
+	eng, pool, _ := planRig(t, core.Config{}, 1, jobs)
+	eng.Run()
+	if pool.MaxConcurrency() < 2 {
+		t.Errorf("max concurrency %d: fill stage did not pack value-zero jobs", pool.MaxConcurrency())
+	}
+	if pool.MaxConcurrency() > 4 {
+		t.Errorf("max concurrency %d exceeds 8GB/2GB memory bound", pool.MaxConcurrency())
+	}
+}
+
+func TestDisableFill(t *testing.T) {
+	var jobs []*job.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, mkJob(i, 2000, 240))
+	}
+	eng, pool, _ := planRig(t, core.Config{DisableFill: true}, 1, jobs)
+	eng.Run()
+	if pool.MaxConcurrency() != 1 {
+		t.Errorf("max concurrency %d with fill disabled, want 1", pool.MaxConcurrency())
+	}
+}
+
+func TestWindowLimitsPlanning(t *testing.T) {
+	var jobs []*job.Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, mkJob(i, 100, 24))
+	}
+	eng, _, s := planRig(t, core.Config{Window: 3}, 1, jobs)
+	eng.RunUntil(3 * units.Second)
+	if s.PlannedCount() != 3 {
+		t.Errorf("planned %d with window 3", s.PlannedCount())
+	}
+	eng.Run()
+}
+
+func TestMemoryGuardRejectsStalePins(t *testing.T) {
+	// Force staleness: plan is computed, then the machine's memory is
+	// consumed before the pin applies. The machine-side guard must reject
+	// the match and the job must eventually run anyway.
+	jobs := []*job.Job{
+		mkJob(0, 5000, 60),
+		mkJob(1, 5000, 60),
+	}
+	eng, pool, _ := planRig(t, core.Config{}, 1, jobs)
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("not done")
+	}
+	for _, q := range pool.Jobs() {
+		if q.State != condor.Completed {
+			t.Errorf("job %d state %v", q.Job.ID, q.State)
+		}
+	}
+	// Both 5 GB jobs cannot share an 8 GB device.
+	if pool.MaxConcurrency() != 1 {
+		t.Errorf("max concurrency %d for two 5GB jobs", pool.MaxConcurrency())
+	}
+}
+
+func TestGreedyFillsDevicesInOrder(t *testing.T) {
+	// Fig. 4 is greedy per device: with 2 devices and 2 small jobs, both
+	// fit the first device's knapsack; the second stays empty initially.
+	jobs := []*job.Job{mkJob(0, 500, 60), mkJob(1, 500, 60)}
+	eng, pool, _ := planRig(t, core.Config{}, 2, jobs)
+	eng.Run()
+	first, second := pool.Machines()[0], pool.Machines()[1]
+	if first.MaxResident != 2 || second.MaxResident != 0 {
+		t.Errorf("resident peaks: %d, %d; want greedy 2, 0", first.MaxResident, second.MaxResident)
+	}
+}
+
+func TestRepacksOnCompletion(t *testing.T) {
+	// More jobs than fit at once: completions must free capacity that
+	// later cycles re-pack until everything runs.
+	var jobs []*job.Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, mkJob(i, 3000, 120))
+	}
+	eng, pool, _ := planRig(t, core.Config{}, 2, jobs)
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("not done")
+	}
+	for _, q := range pool.Jobs() {
+		if q.State != condor.Completed {
+			t.Fatalf("job %d state %v", q.Job.ID, q.State)
+		}
+	}
+}
+
+func TestThreadBudgetAccountsResidents(t *testing.T) {
+	// Device already hosting 180 resident threads: the 2-D stage has a 60
+	// budget, so a 120-thread job must come from the fill stage or wait —
+	// while a 60-thread job fits the budget. Verify both eventually run
+	// and nothing breaks.
+	jobs := []*job.Job{
+		mkJob(0, 1000, 180), // first round resident
+		mkJob(1, 1000, 120),
+		mkJob(2, 1000, 60),
+	}
+	eng, pool, _ := planRig(t, core.Config{}, 1, jobs)
+	eng.Run()
+	for _, q := range pool.Jobs() {
+		if q.State != condor.Completed {
+			t.Errorf("job %d state %v", q.Job.ID, q.State)
+		}
+	}
+}
+
+func TestAlternateValueFunctionsStillComplete(t *testing.T) {
+	for name, vf := range map[string]core.ValueFunc{
+		"linear": core.Linear,
+		"unit":   core.Unit,
+	} {
+		var jobs []*job.Job
+		for i := 0; i < 10; i++ {
+			jobs = append(jobs, mkJob(i, 1000, units.Threads(60*(1+i%4))))
+		}
+		eng, pool, _ := planRig(t, core.Config{Value: vf}, 2, jobs)
+		eng.Run()
+		for _, q := range pool.Jobs() {
+			if q.State != condor.Completed {
+				t.Errorf("%s: job %d state %v", name, q.Job.ID, q.State)
+			}
+		}
+	}
+}
+
+func TestDisableThreadDim(t *testing.T) {
+	// Memory-only packing: three 240-thread 1GB jobs all land on one
+	// device in the first plan (no thread dimension to stop them).
+	jobs := []*job.Job{mkJob(0, 1000, 240), mkJob(1, 1000, 240), mkJob(2, 1000, 240)}
+	eng, pool, s := planRig(t, core.Config{DisableThreadDim: true, DisableFill: true}, 1, jobs)
+	eng.RunUntil(3 * units.Second)
+	if s.PlannedCount() != 3 {
+		t.Errorf("planned %d with thread dim disabled, want 3", s.PlannedCount())
+	}
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("not done")
+	}
+}

@@ -1,0 +1,295 @@
+// Package cosmic reimplements the node-level behaviour of COSMIC [6], the
+// Xeon Phi middleware the paper layers its cluster scheduler on (§IV-D2).
+//
+// COSMIC is a transparent add-on to MPSS that makes coprocessor sharing
+// safe within one compute node. Exactly the three behaviours the paper
+// relies on are implemented:
+//
+//  1. Offload scheduling: an offload is dispatched to the device only when
+//     enough free hardware threads exist, so thread oversubscription never
+//     happens. Waiting offloads are served in arrival order: a wide offload
+//     at the head blocks later ones even if they would fit, which preserves
+//     fairness and prevents starvation of wide offloads (a 240-thread
+//     offload would otherwise wait forever behind a stream of narrow ones).
+//     The head-of-line idleness this causes on width-incompatible job mixes
+//     is precisely the cost the knapsack scheduler avoids by packing
+//     complementary thread widths. Setting Bypass selects a work-conserving
+//     first-fit scan instead (the dispatch-discipline ablation).
+//
+//  2. Core affinitization: dispatched offloads are pinned to disjoint
+//     cores, so two 120-thread offloads use all 60 cores rather than
+//     fighting over the same 30 (the device's Affinitized accounting).
+//
+//  3. Memory containers: a job whose actual memory exceeds its declared
+//     limit is killed at the moment of violation, protecting the other
+//     tenants from a user's underestimate.
+//
+// COSMIC also performs node-level memory admission: a job is admitted to
+// the device only when its declared memory fits alongside the declared
+// memory of the jobs already admitted. This is how "COSMIC prevents them
+// from oversubscribing memory" for the MCC configuration (§V), whose
+// cluster level packs jobs to nodes *arbitrarily*: a job that lands on a
+// full device waits at the node — holding its Condor slot — until memory
+// frees. The knapsack scheduler's placements always fit, so under MCCK
+// admission never blocks; the blocked-slot waste is precisely the gap
+// between random and sharing-aware packing.
+package cosmic
+
+import (
+	"fmt"
+
+	"phishare/internal/job"
+	"phishare/internal/phi"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// Stats aggregates manager activity.
+type Stats struct {
+	OffloadsDispatched int
+	OffloadsQueued     int // offloads that had to wait at least once
+	ContainerKills     int
+	MaxQueueLen        int
+	// TotalQueueWait accumulates time offloads spent waiting for threads;
+	// the serialization cost visible in Fig. 2's time-multiplexed case.
+	TotalQueueWait units.Tick
+	// AdmissionsBlocked counts jobs that arrived at a device without room
+	// for their declared memory and had to wait (holding their host slot).
+	AdmissionsBlocked int
+	// TotalAdmitWait accumulates that waiting time.
+	TotalAdmitWait units.Tick
+	// MaxAdmitted is the peak number of concurrently admitted jobs.
+	MaxAdmitted int
+}
+
+// request is one offload waiting for thread capacity.
+type request struct {
+	proc     *phi.Process
+	threads  units.Threads
+	work     units.Tick
+	done     func(phi.OffloadOutcome)
+	enqueued units.Tick
+	waited   bool
+}
+
+// admitReq is one job waiting for node-level memory admission.
+type admitReq struct {
+	j       *job.Job
+	ready   func(*phi.Process)
+	arrived units.Tick
+}
+
+// Manager is the COSMIC instance guarding one coprocessor.
+type Manager struct {
+	eng      *sim.Engine
+	dev      *phi.Device
+	queue    []*request
+	admitQ   []*admitReq
+	admitted map[*phi.Process]bool
+	stats    Stats
+
+	// Bypass enables first-fit scanning of the wait queue: narrow offloads
+	// may overtake a blocked wide one. Default false (strict arrival
+	// order); see the package comment.
+	Bypass bool
+}
+
+// New wraps dev with a COSMIC manager and enables affinitized core
+// accounting on it.
+func New(eng *sim.Engine, dev *phi.Device) *Manager {
+	dev.Affinitized = true
+	return &Manager{eng: eng, dev: dev, admitted: map[*phi.Process]bool{}}
+}
+
+// Device exposes the managed coprocessor.
+func (m *Manager) Device() *phi.Device { return m.dev }
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// QueueLen is the number of offloads waiting for thread capacity.
+func (m *Manager) QueueLen() int { return len(m.queue) }
+
+// Attach admits a job to the device under a memory container, bypassing
+// memory admission (for callers that have already reserved capacity, and
+// for tests). If the job's committed memory already exceeds its declared
+// limit at admission, it is killed immediately (the process is returned
+// dead, with the kill notification delivered asynchronously).
+func (m *Manager) Attach(j *job.Job) *phi.Process {
+	p := m.dev.Attach(j)
+	m.admitted[p] = true
+	m.noteAdmitted()
+	m.enforceContainer(p, p.Usage())
+	return p
+}
+
+// Admit requests node-level memory admission for j: ready is called (with
+// the attached process) once the job's declared memory fits alongside the
+// already-admitted jobs' declared memory. Jobs that fit immediately are
+// admitted synchronously; others wait in arrival order.
+func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
+	if j.Mem > m.dev.Config().Memory {
+		// The declared limit exceeds physical device memory: the container
+		// cannot be created at all. Fail the job immediately rather than
+		// let it wait for capacity that can never exist.
+		p := m.dev.Attach(j)
+		m.stats.ContainerKills++
+		m.dev.Kill(p, phi.KillContainer)
+		ready(p)
+		return
+	}
+	if len(m.admitQ) == 0 && j.Mem <= m.DeclaredFree() {
+		ready(m.Attach(j))
+		return
+	}
+	m.stats.AdmissionsBlocked++
+	m.admitQ = append(m.admitQ, &admitReq{j: j, ready: ready, arrived: m.eng.Now()})
+}
+
+// DeclaredFree is the device memory not reserved by admitted live jobs.
+func (m *Manager) DeclaredFree() units.MB {
+	free := m.dev.Config().Memory
+	for p := range m.admitted {
+		if !p.Alive() {
+			delete(m.admitted, p) // purge: process died outside our paths
+			continue
+		}
+		free -= p.Job.Mem
+	}
+	return free
+}
+
+// AdmitQueueLen is the number of jobs waiting for memory admission.
+func (m *Manager) AdmitQueueLen() int { return len(m.admitQ) }
+
+func (m *Manager) noteAdmitted() {
+	if n := len(m.admitted); n > m.stats.MaxAdmitted {
+		m.stats.MaxAdmitted = n
+	}
+}
+
+// pumpAdmits admits waiting jobs in arrival order while memory lasts.
+func (m *Manager) pumpAdmits() {
+	for len(m.admitQ) > 0 {
+		head := m.admitQ[0]
+		if head.j.Mem > m.DeclaredFree() {
+			return
+		}
+		m.admitQ = m.admitQ[1:]
+		m.stats.TotalAdmitWait += m.eng.Now() - head.arrived
+		head.ready(m.Attach(head.j))
+	}
+}
+
+// Detach releases a job's process and any queued offloads, and re-runs
+// memory admission with the freed capacity.
+func (m *Manager) Detach(p *phi.Process) {
+	m.dev.Detach(p)
+	delete(m.admitted, p)
+	// Dead-process requests are dropped lazily by pump, but flushing now
+	// frees capacity bookkeeping sooner.
+	m.pump()
+	m.pumpAdmits()
+}
+
+// Offload submits an offload for p. It dispatches immediately when the
+// device has enough free hardware threads; otherwise it queues. done fires
+// exactly once: OffloadCompleted on success, OffloadAborted if the process
+// dies first.
+//
+// An offload wider than the device's hardware thread count can never be
+// scheduled without oversubscription and indicates a workload/device
+// mismatch; it panics.
+func (m *Manager) Offload(p *phi.Process, threads units.Threads, work units.Tick, done func(phi.OffloadOutcome)) {
+	if threads > m.dev.Config().HWThreads() {
+		panic(fmt.Sprintf("cosmic: offload of %v exceeds device hardware threads %v",
+			threads, m.dev.Config().HWThreads()))
+	}
+	if !p.Alive() {
+		m.eng.After(0, func() { done(phi.OffloadAborted) })
+		return
+	}
+	// The offload is about to commit the job's peak memory; the container
+	// check belongs here, before the device would commit it. A job whose
+	// user underestimated memory therefore dies at its first offload — the
+	// container catching the oversized allocation — not at submission.
+	if !m.enforceContainer(p, p.Job.ActualPeakMem) {
+		m.eng.After(0, func() { done(phi.OffloadAborted) })
+		return
+	}
+	req := &request{proc: p, threads: threads, work: work, done: done, enqueued: m.eng.Now()}
+	m.queue = append(m.queue, req)
+	if len(m.queue) > m.stats.MaxQueueLen {
+		m.stats.MaxQueueLen = len(m.queue)
+	}
+	m.pump()
+	if !dispatched(req, m.queue) {
+		req.waited = true
+		m.stats.OffloadsQueued++
+	}
+}
+
+func dispatched(req *request, queue []*request) bool {
+	for _, q := range queue {
+		if q == req {
+			return false
+		}
+	}
+	return true
+}
+
+// enforceContainer kills p if committing wouldCommit MB would exceed the
+// job's declared limit — COSMIC's Linux-container memory cap tripping on
+// the allocation. Returns false if the process was (or already is) dead.
+func (m *Manager) enforceContainer(p *phi.Process, wouldCommit units.MB) bool {
+	if !p.Alive() {
+		return false
+	}
+	if wouldCommit > p.Job.Mem {
+		m.stats.ContainerKills++
+		m.dev.Kill(p, phi.KillContainer)
+		delete(m.admitted, p)
+		m.pump()
+		m.pumpAdmits()
+		return false
+	}
+	return true
+}
+
+// pump dispatches queued offloads while capacity lasts, in arrival order
+// (or first-fit when Bypass is set). Requests whose owner died are dropped
+// wherever they sit — they consume no threads.
+func (m *Manager) pump() {
+	free := m.dev.FreeHWThreads()
+	var remaining []*request
+	blocked := false
+	for _, req := range m.queue {
+		switch {
+		case !req.proc.Alive():
+			// Owner died while queued: abort its offload.
+			done := req.done
+			m.eng.After(0, func() { done(phi.OffloadAborted) })
+		case (!blocked || m.Bypass) && req.threads <= free:
+			free -= req.threads
+			m.dispatch(req)
+		default:
+			blocked = true
+			remaining = append(remaining, req)
+		}
+	}
+	m.queue = remaining
+}
+
+func (m *Manager) dispatch(req *request) {
+	m.stats.OffloadsDispatched++
+	m.stats.TotalQueueWait += m.eng.Now() - req.enqueued
+	done := req.done
+	m.dev.StartOffload(req.proc, req.threads, req.work, func(o phi.OffloadOutcome) {
+		done(o)
+		// Completion frees threads: try to dispatch waiters. Re-running
+		// memory admission here also recovers capacity stranded by any
+		// process death that bypassed Detach (e.g. a device OOM kill).
+		m.pump()
+		m.pumpAdmits()
+	})
+}

@@ -1,0 +1,193 @@
+// Package estimator learns jobs' coprocessor resource requirements from
+// observed executions.
+//
+// The paper assumes users declare each job's maximum Xeon Phi memory and
+// thread requirement, noting that "this could be relaxed with tools that
+// automatically estimate jobs' resource requirements. However that is
+// outside the scope of this paper" (§IV-B). This package is that tool: it
+// groups jobs by workload class, starts each class with conservative
+// whole-device declarations (safe but unshareable), records the peaks
+// observed when instances finish, and once a class has enough samples
+// replaces the conservative declaration with the observed maximum plus a
+// safety margin.
+//
+// Underestimates are self-correcting: if a job is killed by COSMIC's memory
+// container because the estimate was too low, the kill report (which
+// carries the true peak) feeds back into the class model, and the job's
+// retry runs with a corrected declaration.
+package estimator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"phishare/internal/job"
+	"phishare/internal/units"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// MinSamples is how many completed instances a class needs before its
+	// estimate replaces the conservative declaration. Default 3.
+	MinSamples int
+	// MemMargin multiplies the observed peak memory. Default 1.2.
+	MemMargin float64
+	// ConservativeMem and ConservativeThreads are the declarations used
+	// while a class is unknown: effectively a whole device, which is always
+	// safe — exactly the exclusive policy the paper's clusters already
+	// imply for unknown jobs. The default is 7.8 GB rather than the full
+	// 8 GB because the card's memory also holds its Linux kernel and
+	// daemons (§II-A), so no user process can own all of it.
+	ConservativeMem     units.MB
+	ConservativeThreads units.Threads
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples == 0 {
+		c.MinSamples = 3
+	}
+	if c.MemMargin == 0 {
+		c.MemMargin = 1.2
+	}
+	if c.ConservativeMem == 0 {
+		c.ConservativeMem = 7988 // 7.8 GiB: device memory minus OS headroom
+	}
+	if c.ConservativeThreads == 0 {
+		c.ConservativeThreads = 240
+	}
+	return c
+}
+
+// classModel accumulates observations for one workload class.
+type classModel struct {
+	samples    int
+	violations int
+	maxMem     units.MB
+	maxThreads units.Threads
+}
+
+// Estimator is safe for concurrent use (the simulator is single-threaded,
+// but the estimator is a reusable library component).
+type Estimator struct {
+	mu      sync.Mutex
+	cfg     Config
+	classes map[string]*classModel
+}
+
+// New returns an estimator with the given configuration.
+func New(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), classes: map[string]*classModel{}}
+}
+
+// ObserveCompletion records a successfully finished instance's measured
+// peaks (in the simulator, the job's true peak memory and widest offload).
+func (e *Estimator) ObserveCompletion(class string, peakMem units.MB, threads units.Threads) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.class(class)
+	m.samples++
+	if peakMem > m.maxMem {
+		m.maxMem = peakMem
+	}
+	if threads > m.maxThreads {
+		m.maxThreads = threads
+	}
+}
+
+// ObserveViolation records a container kill: the estimate was below the
+// job's true peak. The true peak (reported by the container) raises the
+// class ceiling immediately, and the violation counts as a sample so the
+// class does not oscillate back.
+func (e *Estimator) ObserveViolation(class string, truePeak units.MB) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.class(class)
+	m.violations++
+	m.samples++
+	if truePeak > m.maxMem {
+		m.maxMem = truePeak
+	}
+}
+
+func (e *Estimator) class(name string) *classModel {
+	m, ok := e.classes[name]
+	if !ok {
+		m = &classModel{}
+		e.classes[name] = m
+	}
+	return m
+}
+
+// Estimate returns the declaration to use for a new instance of class:
+// the margined observed peak once MinSamples instances have been seen, the
+// conservative whole-device declaration before that. known reports which
+// case applied.
+func (e *Estimator) Estimate(class string) (mem units.MB, threads units.Threads, known bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.classes[class]
+	if !ok || m.samples < e.cfg.MinSamples {
+		return e.cfg.ConservativeMem, e.cfg.ConservativeThreads, false
+	}
+	mem = units.MB(float64(m.maxMem) * e.cfg.MemMargin)
+	if mem > e.cfg.ConservativeMem {
+		mem = e.cfg.ConservativeMem
+	}
+	// Threads need no margin: the widest offload is bounded by the class's
+	// parallelization, which does not vary with input the way memory does.
+	threads = m.maxThreads
+	if threads <= 0 || threads > e.cfg.ConservativeThreads {
+		threads = e.cfg.ConservativeThreads
+	}
+	return mem, threads, true
+}
+
+// Annotate returns a copy of j whose declared requirements come from the
+// estimator. The copy shares the (immutable) phase profile.
+func (e *Estimator) Annotate(j *job.Job) *job.Job {
+	mem, threads, _ := e.Estimate(j.Workload)
+	cp := *j
+	cp.Mem = mem
+	cp.Threads = threads
+	return &cp
+}
+
+// Stats summarizes the estimator's state for reporting.
+type Stats struct {
+	Classes    int
+	Known      int // classes past MinSamples
+	Violations int
+}
+
+// Stats returns current aggregate state.
+func (e *Estimator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{Classes: len(e.classes)}
+	for _, m := range e.classes {
+		if m.samples >= e.cfg.MinSamples {
+			s.Known++
+		}
+		s.Violations += m.violations
+	}
+	return s
+}
+
+// Describe renders per-class state, sorted by class name.
+func (e *Estimator) Describe() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.classes))
+	for name := range e.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		m := e.classes[name]
+		out += fmt.Sprintf("%-12s samples=%d maxMem=%v maxThreads=%v violations=%d\n",
+			name, m.samples, m.maxMem, m.maxThreads, m.violations)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package estimator
+
+import (
+	"strings"
+	"testing"
+
+	"phishare/internal/job"
+)
+
+func TestUnknownClassIsConservative(t *testing.T) {
+	e := New(Config{})
+	mem, th, known := e.Estimate("KM")
+	if known {
+		t.Error("fresh class reported known")
+	}
+	if mem != 7988 || th != 240 {
+		t.Errorf("conservative estimate = %v/%v, want whole-device defaults", mem, th)
+	}
+}
+
+func TestEstimateAfterMinSamples(t *testing.T) {
+	e := New(Config{MinSamples: 3, MemMargin: 1.2})
+	e.ObserveCompletion("KM", 1000, 60)
+	e.ObserveCompletion("KM", 800, 60)
+	if _, _, known := e.Estimate("KM"); known {
+		t.Error("known after 2 of 3 samples")
+	}
+	e.ObserveCompletion("KM", 900, 60)
+	mem, th, known := e.Estimate("KM")
+	if !known {
+		t.Fatal("not known after 3 samples")
+	}
+	if mem != 1200 { // max 1000 * 1.2
+		t.Errorf("mem estimate %v, want 1200", mem)
+	}
+	if th != 60 {
+		t.Errorf("thread estimate %v, want 60", th)
+	}
+}
+
+func TestEstimateCapsAtConservative(t *testing.T) {
+	e := New(Config{MinSamples: 1})
+	e.ObserveCompletion("SG", 7500, 240)
+	mem, th, _ := e.Estimate("SG")
+	if mem > 7988 {
+		t.Errorf("estimate %v above the conservative ceiling", mem)
+	}
+	if th != 240 {
+		t.Errorf("thread estimate %v", th)
+	}
+}
+
+func TestViolationRaisesCeiling(t *testing.T) {
+	e := New(Config{MinSamples: 2, MemMargin: 1.1})
+	e.ObserveCompletion("MD", 500, 180)
+	e.ObserveCompletion("MD", 520, 180)
+	mem, _, _ := e.Estimate("MD")
+	if mem != 572 { // 520 * 1.1
+		t.Fatalf("pre-violation estimate %v", mem)
+	}
+	e.ObserveViolation("MD", 800)
+	mem, _, known := e.Estimate("MD")
+	if !known || mem != 880 { // 800 * 1.1
+		t.Errorf("post-violation estimate %v (known=%v), want 880", mem, known)
+	}
+	if e.Stats().Violations != 1 {
+		t.Errorf("stats %+v", e.Stats())
+	}
+}
+
+func TestAnnotateCopiesJob(t *testing.T) {
+	e := New(Config{MinSamples: 1})
+	e.ObserveCompletion("KM", 600, 60)
+	orig := &job.Job{
+		ID: 1, Name: "KM#1", Workload: "KM",
+		Mem: 9999, Threads: 999, ActualPeakMem: 580,
+		Phases: []job.Phase{{Kind: job.OffloadPhase, Duration: 100, Threads: 60}},
+	}
+	cp := e.Annotate(orig)
+	if cp.Mem != 720 || cp.Threads != 60 {
+		t.Errorf("annotated job %v/%v", cp.Mem, cp.Threads)
+	}
+	if orig.Mem != 9999 {
+		t.Error("Annotate mutated the original")
+	}
+	if cp.ActualPeakMem != orig.ActualPeakMem || len(cp.Phases) != len(orig.Phases) {
+		t.Error("Annotate lost job content")
+	}
+}
+
+func TestClassesIndependent(t *testing.T) {
+	e := New(Config{MinSamples: 1})
+	e.ObserveCompletion("KM", 600, 60)
+	if _, _, known := e.Estimate("BT"); known {
+		t.Error("observing KM made BT known")
+	}
+}
+
+func TestStatsAndDescribe(t *testing.T) {
+	e := New(Config{MinSamples: 1})
+	e.ObserveCompletion("KM", 600, 60)
+	e.ObserveViolation("BT", 2000)
+	s := e.Stats()
+	if s.Classes != 2 || s.Known != 2 || s.Violations != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	d := e.Describe()
+	if !strings.Contains(d, "KM") || !strings.Contains(d, "BT") {
+		t.Errorf("describe missing classes:\n%s", d)
+	}
+}
+
+func TestZeroThreadObservationFallsBack(t *testing.T) {
+	e := New(Config{MinSamples: 1})
+	e.ObserveViolation("X", 100) // violation only: no thread observation
+	_, th, known := e.Estimate("X")
+	if !known {
+		t.Fatal("not known")
+	}
+	if th != 240 {
+		t.Errorf("thread estimate with no observation = %v, want conservative 240", th)
+	}
+}

@@ -1,0 +1,574 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/units"
+	"phishare/internal/workload"
+)
+
+// small keeps the drivers fast in unit tests; the full-scale parameters run
+// in the benchmarks and cmd/phibench.
+func small() Options {
+	return Options{Seed: 42, Nodes: 4, RealJobs: 200, SyntheticJobs: 120}
+}
+
+func TestRunBasics(t *testing.T) {
+	jobs := job.GenerateTableOneSet(50, rng.New(1))
+	res := Run(RunConfig{Policy: PolicyMC, Nodes: 2, Jobs: jobs, Seed: 1})
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if res.Summary.Completed != 50 {
+		t.Fatalf("completed %d/50", res.Summary.Completed)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+	if res.MaxConcurrency != 1 {
+		t.Fatalf("MC concurrency %d", res.MaxConcurrency)
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]RunConfig{
+		"no nodes":  {Policy: PolicyMC, Jobs: job.GenerateTableOneSet(1, rng.New(1))},
+		"no jobs":   {Policy: PolicyMC, Nodes: 1},
+		"bad policy": {Policy: "nope", Nodes: 1, Jobs: job.GenerateTableOneSet(1, rng.New(1))},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	jobs := job.GenerateTableOneSet(60, rng.New(2))
+	a := Run(RunConfig{Policy: PolicyMCCK, Nodes: 2, Jobs: jobs, Seed: 7})
+	b := Run(RunConfig{Policy: PolicyMCCK, Nodes: 2, Jobs: jobs, Seed: 7})
+	if a.Makespan != b.Makespan || a.Utilization != b.Utilization {
+		t.Errorf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMotivationShape(t *testing.T) {
+	r := Motivation(small())
+	if r.Real < 0.30 || r.Real > 0.65 {
+		t.Errorf("real-mix exclusive utilization %.2f outside the paper band", r.Real)
+	}
+	for d, u := range r.Synthetic {
+		if u < 0.15 || u > 0.80 {
+			t.Errorf("%v exclusive utilization %.2f implausible", d, u)
+		}
+	}
+	// Low-skew jobs use few cores; high-skew many: utilization must order.
+	if r.Synthetic[workload.LowSkew] >= r.Synthetic[workload.HighSkew] {
+		t.Errorf("low-skew util %.2f not below high-skew %.2f",
+			r.Synthetic[workload.LowSkew], r.Synthetic[workload.HighSkew])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(small())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	mc, mcc, mcck := r.Rows[0], r.Rows[1], r.Rows[2]
+	if mcc.Makespan >= mc.Makespan {
+		t.Errorf("MCC %v not better than MC %v", mcc.Makespan, mc.Makespan)
+	}
+	if mcck.Makespan >= mcc.Makespan {
+		t.Errorf("MCCK %v not better than MCC %v (paper's headline ordering)", mcck.Makespan, mcc.Makespan)
+	}
+	if mcck.Reduction < 0.25 {
+		t.Errorf("MCCK reduction %.2f below the paper's scale", mcck.Reduction)
+	}
+	if mcc.Footprint == 0 || mcck.Footprint == 0 {
+		t.Error("footprint search failed")
+	}
+	if mcck.Footprint > mcc.Footprint {
+		t.Errorf("MCCK footprint %d worse than MCC %d", mcck.Footprint, mcc.Footprint)
+	}
+	if mcck.Footprint >= r.Nodes {
+		t.Errorf("MCCK footprint %d shows no reduction from %d", mcck.Footprint, r.Nodes)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7(small())
+	if len(r.Histograms) != 4 {
+		t.Fatalf("histograms %d", len(r.Histograms))
+	}
+	var lo, n, hi float64
+	for _, h := range r.Histograms {
+		switch h.Dist {
+		case workload.LowSkew:
+			lo = h.MeanLevel()
+		case workload.Normal:
+			n = h.MeanLevel()
+		case workload.HighSkew:
+			hi = h.MeanLevel()
+		}
+	}
+	if !(lo < n && n < hi) {
+		t.Errorf("mean levels out of order: %v %v %v", lo, n, hi)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := Fig8(small())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	var highSkewGain float64
+	minOtherGain := 1.0
+	for _, row := range r.Rows {
+		if row.MCC >= row.MC || row.MCCK >= row.MC {
+			t.Errorf("%v: sharing did not beat MC (%v/%v vs %v)", row.Dist, row.MCC, row.MCCK, row.MC)
+		}
+		gain := reduction(row.MC, row.MCCK)
+		if row.Dist == workload.HighSkew {
+			highSkewGain = gain
+		} else if gain < minOtherGain {
+			minOtherGain = gain
+		}
+	}
+	if highSkewGain >= minOtherGain {
+		t.Errorf("high-skew gain %.2f not the smallest (others >= %.2f)", highSkewGain, minOtherGain)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	o := small()
+	o.SyntheticJobs = 80
+	r := Fig9(o)
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Sizes); i++ {
+			if s.MC[i] > s.MC[i-1] {
+				t.Errorf("%v: MC makespan grew with cluster size (%v -> %v)", s.Dist, s.MC[i-1], s.MC[i])
+			}
+		}
+		// At the largest size, sharing beats MC.
+		last := len(s.Sizes) - 1
+		if s.MCCK[last] >= s.MC[last] {
+			t.Errorf("%v: MCCK not better than MC at %d nodes", s.Dist, s.Sizes[last])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(small())
+	for _, row := range r.Rows {
+		if row.MCC == 0 || row.MCCK == 0 {
+			t.Errorf("%v: footprint search failed (%d, %d)", row.Dist, row.MCC, row.MCCK)
+			continue
+		}
+		if row.MCCK > row.MCC {
+			t.Errorf("%v: MCCK footprint %d worse than MCC %d", row.Dist, row.MCCK, row.MCC)
+		}
+		if row.MCC > r.Nodes {
+			t.Errorf("%v: MCC footprint %d exceeds reference", row.Dist, row.MCC)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	o := small()
+	o.SyntheticJobs = 80 // 40 jobs per node
+	r := Fig10(o)
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range r.Points {
+		if p.MCCK >= p.MC {
+			t.Errorf("%d nodes: MCCK %v not better than MC %v at constant pressure", p.Nodes, p.MCCK, p.MC)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	if got := reduction(last.MC, last.MCCK); got < 0.2 {
+		t.Errorf("MCCK-vs-MC at max size = %.2f, want the paper's ~0.4 scale", got)
+	}
+}
+
+func TestFig23Shape(t *testing.T) {
+	r := Fig23(small())
+	// Both sharing cases beat sequential execution.
+	if r.MaximalMakespan >= r.MaximalSequential {
+		t.Errorf("maximal: concurrent %v not better than sequential %v", r.MaximalMakespan, r.MaximalSequential)
+	}
+	if r.PartialMakespan >= r.PartialSequential {
+		t.Errorf("partial: concurrent %v not better than sequential %v", r.PartialMakespan, r.PartialSequential)
+	}
+	// Partial-width jobs overlap better than maximal-width ones
+	// (Fig. 3's point): bigger relative saving.
+	maxSave := 1 - float64(r.MaximalMakespan)/float64(r.MaximalSequential)
+	parSave := 1 - float64(r.PartialMakespan)/float64(r.PartialSequential)
+	if parSave <= maxSave {
+		t.Errorf("partial saving %.2f not better than maximal %.2f", parSave, maxSave)
+	}
+	// The maximal case must never oversubscribe: no overlapping intervals
+	// with combined threads > 240.
+	ivs := r.Maximal.Intervals()
+	for i := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			if ivs[i].End > ivs[j].Start && ivs[j].End > ivs[i].Start &&
+				ivs[i].Threads+ivs[j].Threads > 240 {
+				t.Errorf("oversubscribed overlap: %+v and %+v", ivs[i], ivs[j])
+			}
+		}
+	}
+}
+
+func TestAblationValueFunction(t *testing.T) {
+	o := small()
+	rows := AblationValueFunction(o)
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	base := rows[0].Makespan
+	for _, r := range rows[1:] {
+		if r.Makespan >= base {
+			t.Errorf("%s: %v not better than MC %v", r.Name, r.Makespan, base)
+		}
+	}
+}
+
+func TestAblationOversubscription(t *testing.T) {
+	rows := AblationOversubscription(small())
+	raw, safe := rows[0], rows[1]
+	if raw.Crashes == 0 {
+		t.Error("agnostic raw stack produced no crashes")
+	}
+	if safe.Crashes != 0 {
+		t.Errorf("COSMIC-protected stack crashed %d times", safe.Crashes)
+	}
+	if safe.Failed != 0 {
+		t.Errorf("COSMIC-protected stack failed %d jobs", safe.Failed)
+	}
+}
+
+func TestAblationNegotiationCycle(t *testing.T) {
+	o := small()
+	o.SyntheticJobs = 80
+	rows := AblationNegotiationCycle(o)
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Longer cycles cannot help; the longest must be no better than the
+	// shortest.
+	if rows[len(rows)-1].Makespan < rows[0].Makespan {
+		t.Errorf("60s cycle %v beat 5s cycle %v", rows[len(rows)-1].Makespan, rows[0].Makespan)
+	}
+}
+
+func TestAblationDispatchDiscipline(t *testing.T) {
+	o := small()
+	o.RealJobs = 120
+	rows := AblationDispatchDiscipline(o)
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s: empty makespan", r.Name)
+		}
+	}
+}
+
+func TestFootprintMonotoneTarget(t *testing.T) {
+	jobs := job.GenerateTableOneSet(80, rng.New(3))
+	base := Run(RunConfig{Policy: PolicyMC, Nodes: 4, Jobs: jobs, Seed: 3}).Makespan
+	fp, ok := Footprint(RunConfig{Policy: PolicyMCCK, Jobs: jobs, Seed: 3, Nodes: 1}, base, 4)
+	if !ok {
+		t.Fatal("footprint not found even at reference size")
+	}
+	if fp < 1 || fp > 4 {
+		t.Fatalf("footprint %d out of range", fp)
+	}
+	// An impossible target finds nothing.
+	if _, ok := Footprint(RunConfig{Policy: PolicyMCCK, Jobs: jobs, Seed: 3, Nodes: 1}, units.Tick(1), 4); ok {
+		t.Error("impossible footprint target satisfied")
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	o := small()
+	o.RealJobs = 60
+	o.SyntheticJobs = 60
+	var buf bytes.Buffer
+	WriteMotivation(&buf, Motivation(o))
+	WriteTable2(&buf, Table2(o))
+	WriteFig7(&buf, Fig7(o))
+	WriteFig8(&buf, Fig8(o))
+	WriteTable3(&buf, Table3(o))
+	WriteFig23(&buf, Fig23(o))
+	WriteAblation(&buf, "A1", AblationValueFunction(o))
+	WriteOversub(&buf, AblationOversubscription(o))
+	WriteDynamic(&buf, Dynamic(o, DynamicConfig{Loads: []float64{0.8}, Jobs: 40}))
+	WriteEstimation(&buf, Estimation(Options{Seed: o.Seed, Nodes: o.Nodes, RealJobs: 60}))
+	WriteTransfer(&buf, []TransferRow{{Policy: "MC", BandwidthMBps: 6000, Makespan: 100}})
+	WriteCycles(&buf, []CycleRow{{Cycle: 100, Makespan: 100}})
+	WriteTable2Multi(&buf, Table2Multi(Options{Seed: 1, Nodes: o.Nodes, RealJobs: 60}, []int64{1, 2}))
+	out := buf.String()
+	for _, want := range []string{"E1", "Table II", "Fig. 7", "Fig. 8", "Table III", "Figs. 2-3",
+		"A1", "A2", "E9", "E10", "A5", "A3", "workload seeds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Errorf("format verb error in report:\n%s", out)
+	}
+}
+
+func TestDynamicShape(t *testing.T) {
+	o := small()
+	rows := Dynamic(o, DynamicConfig{Loads: []float64{0.5, 1.4}, Jobs: 100})
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	get := func(load float64, policy string) DynamicRow {
+		for _, r := range rows {
+			if r.Load == load && r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%s", load, policy)
+		return DynamicRow{}
+	}
+	for _, r := range rows {
+		if r.Completed != 100 {
+			t.Errorf("%s@%v completed %d/100", r.Policy, r.Load, r.Completed)
+		}
+		if r.MeanResponse <= 0 || r.P95Response < r.MeanResponse {
+			t.Errorf("%s@%v response stats inconsistent: %+v", r.Policy, r.Load, r)
+		}
+	}
+	// Past the exclusive stack's saturation point, sharing must respond
+	// faster.
+	if get(1.4, PolicyMCC).MeanResponse >= get(1.4, PolicyMC).MeanResponse {
+		t.Errorf("overloaded MCC response %v not below MC %v",
+			get(1.4, PolicyMCC).MeanResponse, get(1.4, PolicyMC).MeanResponse)
+	}
+	if get(1.4, PolicyMCCK).MeanResponse >= get(1.4, PolicyMC).MeanResponse {
+		t.Errorf("overloaded MCCK response %v not below MC %v",
+			get(1.4, PolicyMCCK).MeanResponse, get(1.4, PolicyMC).MeanResponse)
+	}
+	// Higher load cannot shrink MC's response time.
+	if get(1.4, PolicyMC).MeanResponse < get(0.5, PolicyMC).MeanResponse {
+		t.Error("MC response improved under higher load")
+	}
+}
+
+func TestDynamicDeterministic(t *testing.T) {
+	o := small()
+	a := Dynamic(o, DynamicConfig{Loads: []float64{0.8}, Jobs: 50})
+	b := Dynamic(o, DynamicConfig{Loads: []float64{0.8}, Jobs: 50})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dynamic runs differ: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestDynamicPanicsOnBadLoad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative load accepted")
+		}
+	}()
+	Dynamic(small(), DynamicConfig{Loads: []float64{-1}})
+}
+
+func TestEstimationShape(t *testing.T) {
+	o := small()
+	o.RealJobs = 150
+	rows := Estimation(o)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	conservative, estimated, oracle := rows[0], rows[1], rows[2]
+	// Conservative declarations collapse sharing: exactly one job per
+	// device, no crashes.
+	if conservative.MaxConcurrency != 1 {
+		t.Errorf("conservative max concurrency %d, want 1", conservative.MaxConcurrency)
+	}
+	if conservative.Crashes != 0 {
+		t.Errorf("conservative regime crashed %d times", conservative.Crashes)
+	}
+	// The estimator must recover sharing: better than conservative, with
+	// concurrency above 1, approaching the oracle.
+	if estimated.Makespan >= conservative.Makespan {
+		t.Errorf("estimated %v not better than conservative %v",
+			estimated.Makespan, conservative.Makespan)
+	}
+	if estimated.MaxConcurrency < 2 {
+		t.Errorf("estimated max concurrency %d, want sharing", estimated.MaxConcurrency)
+	}
+	if oracle.Makespan > estimated.Makespan {
+		t.Errorf("oracle %v worse than estimated %v (oracle declarations are tighter)",
+			oracle.Makespan, estimated.Makespan)
+	}
+	// The estimator should recover most of the oracle's gain.
+	gap := float64(estimated.Makespan-oracle.Makespan) / float64(oracle.Makespan)
+	if gap > 0.35 {
+		t.Errorf("estimated trails oracle by %.0f%%, want within 35%%", gap*100)
+	}
+	if estimated.KnownClasses != 7 {
+		t.Errorf("known classes %d, want all 7 Table I workloads", estimated.KnownClasses)
+	}
+}
+
+func TestEstimationDeterministic(t *testing.T) {
+	o := small()
+	o.RealJobs = 80
+	a := Estimation(o)
+	b := Estimation(o)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimation runs differ: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestAblationTransferContention(t *testing.T) {
+	o := small()
+	o.SyntheticJobs = 100 // 50 transfer-heavy jobs
+	rows := AblationTransferContention(o)
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	get := func(policy string, bw float64) units.Tick {
+		for _, r := range rows {
+			if r.Policy == policy && r.BandwidthMBps == bw {
+				return r.Makespan
+			}
+		}
+		t.Fatalf("missing %s@%v", policy, bw)
+		return 0
+	}
+	// A starved link slows every stack, but hurts the sharing stacks more
+	// in absolute terms (they multiplex more concurrent DMA).
+	for _, p := range Policies() {
+		if get(p, 1500) < get(p, 6000) {
+			t.Errorf("%s: faster on a slower link", p)
+		}
+	}
+	mcSlowdown := float64(get(PolicyMC, 1500)) / float64(get(PolicyMC, 6000))
+	mcckSlowdown := float64(get(PolicyMCCK, 1500)) / float64(get(PolicyMCCK, 6000))
+	if mcckSlowdown < mcSlowdown {
+		t.Errorf("link starvation hurt MC (%.2fx) more than MCCK (%.2fx)", mcSlowdown, mcckSlowdown)
+	}
+	// At full bandwidth, sharing still wins on transfer-heavy jobs.
+	if get(PolicyMCCK, 6000) >= get(PolicyMC, 6000) {
+		t.Error("MCCK lost to MC on transfer-heavy jobs at full bandwidth")
+	}
+}
+
+func TestAblationClaimReuse(t *testing.T) {
+	o := small()
+	o.RealJobs = 120
+	rows := AblationClaimReuse(o)
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// MC has no placement decision to lose: reuse strictly removes
+	// negotiation latency and must help.
+	if rows[1].Makespan >= rows[0].Makespan {
+		t.Errorf("MC claim-reuse %v not faster than negotiated %v",
+			rows[1].Makespan, rows[0].Makespan)
+	}
+	// For the sharing stacks, eager local reuse trades placement quality
+	// for latency; it must stay within 10% either way, never collapse.
+	for i := 2; i < len(rows); i += 2 {
+		negotiated, reused := rows[i], rows[i+1]
+		ratio := float64(reused.Makespan) / float64(negotiated.Makespan)
+		if ratio > 1.10 || ratio < 0.5 {
+			t.Errorf("%s/%s ratio %.2f out of the plausible band",
+				reused.Name, negotiated.Name, ratio)
+		}
+	}
+}
+
+func TestParmapOrderAndCoverage(t *testing.T) {
+	out := parmap(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("parmap[%d] = %d", i, v)
+		}
+	}
+	if parmap(0, func(int) int { return 1 }) != nil {
+		t.Error("parmap(0) not nil")
+	}
+	if got := parmap(1, func(int) string { return "x" }); len(got) != 1 || got[0] != "x" {
+		t.Errorf("parmap(1) = %v", got)
+	}
+}
+
+func TestParallelSweepsDeterministic(t *testing.T) {
+	// Parallel execution must not change results: two Fig9 runs agree, and
+	// sequential cells (via direct Run) match the parallel grid.
+	o := small()
+	o.SyntheticJobs = 60
+	a := Fig9(o)
+	b := Fig9(o)
+	for i := range a.Series {
+		for j := range a.Series[i].Sizes {
+			if a.Series[i].MCCK[j] != b.Series[i].MCCK[j] {
+				t.Fatalf("parallel Fig9 nondeterministic at %d/%d", i, j)
+			}
+		}
+	}
+	jobs := o.syntheticJobSet(a.Series[0].Dist)
+	direct := Run(RunConfig{Policy: PolicyMCCK, Nodes: a.Series[0].Sizes[0], Jobs: jobs, Seed: o.Seed}).Makespan
+	if direct != a.Series[0].MCCK[0] {
+		t.Errorf("parallel cell %v != sequential run %v", a.Series[0].MCCK[0], direct)
+	}
+}
+
+func TestTable2MultiShape(t *testing.T) {
+	o := small()
+	o.RealJobs = 150
+	stats := Table2Multi(o, []int64{1, 2, 3})
+	if len(stats) != 3 {
+		t.Fatalf("stats %d", len(stats))
+	}
+	var mcck SeedStats
+	for _, s := range stats {
+		if s.Seeds != 3 {
+			t.Errorf("%s seeds %d", s.Policy, s.Seeds)
+		}
+		if s.MeanMakespan <= 0 {
+			t.Errorf("%s mean makespan %v", s.Policy, s.MeanMakespan)
+		}
+		if s.Policy == PolicyMCCK {
+			mcck = s
+		}
+	}
+	if mcck.MeanReduction < 0.25 || mcck.MeanReduction > 0.55 {
+		t.Errorf("MCCK mean reduction %.2f off the paper's scale", mcck.MeanReduction)
+	}
+	// A calibrated, non-degenerate model should be stable across seeds.
+	if mcck.StdReduction > 0.08 {
+		t.Errorf("MCCK reduction std %.3f too noisy", mcck.StdReduction)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("meanStd = %v, %v (want 5, 2)", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty meanStd = %v, %v", m, s)
+	}
+}

@@ -1,0 +1,170 @@
+// Package experiments defines one driver per table and figure in the
+// paper's evaluation (§III motivation, Table II, Table III, Figs. 7–10)
+// plus the ablations called out in DESIGN.md. Each driver builds fresh
+// simulation state from a seed, so every artifact is exactly reproducible.
+package experiments
+
+import (
+	"fmt"
+
+	"phishare/internal/cluster"
+	"phishare/internal/condor"
+	"phishare/internal/core"
+	"phishare/internal/job"
+	"phishare/internal/metrics"
+	"phishare/internal/phi"
+	"phishare/internal/rng"
+	"phishare/internal/scheduler"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// Policy names accepted by RunConfig.
+const (
+	PolicyMC       = "MC"
+	PolicyMCC      = "MCC"
+	PolicyMCCK     = "MCCK"
+	PolicyAgnostic = "Agnostic"
+)
+
+// Policies lists the paper's three compared configurations in Table II
+// order.
+func Policies() []string { return []string{PolicyMC, PolicyMCC, PolicyMCCK} }
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Policy is one of the Policy* constants.
+	Policy string
+	// Nodes is the cluster size; DevicesPerNode defaults to 1 (the paper's
+	// testbed).
+	Nodes          int
+	DevicesPerNode int
+	// Jobs is the workload, submitted at t=0.
+	Jobs []*job.Job
+	// Seed drives scheduler and device randomness (workload randomness is
+	// baked into Jobs by its generator).
+	Seed int64
+	// Condor tunes the pool mechanics; zero values take defaults.
+	Condor condor.Config
+	// Core tunes the MCCK scheduler; ignored by other policies.
+	Core core.Config
+	// ForceCosmic overrides the per-policy COSMIC default: MC and Agnostic
+	// run raw MPSS, MCC and MCCK run with COSMIC. (The oversubscription
+	// ablation pairs sharing policies with raw devices.)
+	ForceCosmic *bool
+	// CosmicBypass selects first-fit offload dispatch (ablation A4).
+	CosmicBypass bool
+	// LinkBandwidthMBps overrides the per-node PCIe bandwidth (ablation
+	// A5); 0 takes the 6 GB/s default.
+	LinkBandwidthMBps float64
+	// MaxSteps bounds the event count as a runaway guard; 0 means 500M.
+	MaxSteps uint64
+	// Trace, if non-nil, observes every device's offload lifecycle (job
+	// names are unique within a run, so one recorder can serve the whole
+	// cluster for CSV/JSON export).
+	Trace phi.TraceSink
+}
+
+// usesCosmic resolves the node middleware choice.
+func (c RunConfig) usesCosmic() bool {
+	if c.ForceCosmic != nil {
+		return *c.ForceCosmic
+	}
+	switch c.Policy {
+	case PolicyMCC, PolicyMCCK:
+		return true
+	}
+	return false
+}
+
+// buildPolicy constructs the condor.Policy for the run.
+func (c RunConfig) buildPolicy() condor.Policy {
+	r := rng.New(c.Seed).Fork("policy-" + c.Policy)
+	switch c.Policy {
+	case PolicyMC:
+		return scheduler.NewExclusive()
+	case PolicyMCC:
+		return scheduler.NewRandomPack(r)
+	case PolicyMCCK:
+		return core.New(c.Core)
+	case PolicyAgnostic:
+		return scheduler.NewAgnostic(r)
+	}
+	panic(fmt.Sprintf("experiments: unknown policy %q", c.Policy))
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy         string
+	Nodes          int
+	JobCount       int
+	Makespan       units.Tick
+	Utilization    float64 // mean core utilization over the makespan
+	MaxConcurrency int
+	Summary        metrics.Summary
+	PoolStats      condor.Stats
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg RunConfig) Result {
+	if cfg.Nodes <= 0 {
+		panic("experiments: Nodes must be positive")
+	}
+	if len(cfg.Jobs) == 0 {
+		panic("experiments: empty job set")
+	}
+	eng := sim.New()
+	eng.MaxSteps = cfg.MaxSteps
+	if eng.MaxSteps == 0 {
+		eng.MaxSteps = 500_000_000
+	}
+	clu := cluster.New(eng, cluster.Config{
+		Nodes:             cfg.Nodes,
+		DevicesPerNode:    cfg.DevicesPerNode,
+		UseCosmic:         cfg.usesCosmic(),
+		CosmicBypass:      cfg.CosmicBypass,
+		LinkBandwidthMBps: cfg.LinkBandwidthMBps,
+		Seed:              cfg.Seed,
+	})
+	if cfg.Trace != nil {
+		for _, u := range clu.Units {
+			u.Device.Trace = cfg.Trace
+		}
+	}
+	pool := condor.NewPool(eng, clu, cfg.buildPolicy(), cfg.Condor)
+	pool.Submit(cfg.Jobs)
+	eng.Run()
+	if !pool.Done() {
+		panic("experiments: engine drained with jobs outstanding")
+	}
+
+	makespan := pool.Makespan()
+	summary := metrics.Summarize(pool.Records(), clu.Utils(), makespan)
+	summary.MaxConcurrency = pool.MaxConcurrency()
+	return Result{
+		Policy:         cfg.Policy,
+		Nodes:          cfg.Nodes,
+		JobCount:       len(cfg.Jobs),
+		Makespan:       makespan,
+		Utilization:    summary.AvgUtilization,
+		MaxConcurrency: summary.MaxConcurrency,
+		Summary:        summary,
+		PoolStats:      pool.Stats(),
+	}
+}
+
+// Footprint finds the smallest cluster size (in [1, maxNodes]) whose
+// makespan under cfg's policy does not exceed target — the paper's
+// footprint metric: "the cluster size required to achieve the same makespan
+// as the baseline on an 8-node cluster" (Table II/III). Returns (0, false)
+// if even maxNodes misses the target.
+func Footprint(cfg RunConfig, target units.Tick, maxNodes int) (int, bool) {
+	for n := 1; n <= maxNodes; n++ {
+		c := cfg
+		c.Nodes = n
+		if Run(c).Makespan <= target {
+			return n, true
+		}
+	}
+	return 0, false
+}

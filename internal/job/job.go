@@ -1,0 +1,228 @@
+// Package job models Xeon Phi offload jobs: host-launched processes that
+// alternate between host computation and offloaded kernels on the
+// coprocessor (paper §II-A, Figs. 2–3).
+//
+// A Job carries the two pieces of information the paper's scheduler requires
+// the user to declare (§IV-B) — a maximum coprocessor memory requirement and
+// a maximum thread requirement — plus the phase profile that the simulator
+// executes. The profile is *not* visible to any scheduler (the paper
+// explicitly assumes job execution times are unknown); only the device
+// simulator consumes it.
+package job
+
+import (
+	"errors"
+	"fmt"
+
+	"phishare/internal/units"
+)
+
+// PhaseKind discriminates the two phase types of an offload job.
+type PhaseKind int
+
+const (
+	// HostPhase runs on the host CPU; the coprocessor is idle for this job.
+	HostPhase PhaseKind = iota
+	// OffloadPhase runs a kernel on the coprocessor, occupying Threads
+	// hardware threads for the phase duration.
+	OffloadPhase
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case HostPhase:
+		return "host"
+	case OffloadPhase:
+		return "offload"
+	}
+	return fmt.Sprintf("PhaseKind(%d)", int(k))
+}
+
+// Phase is one segment of a job's execution profile.
+type Phase struct {
+	Kind     PhaseKind
+	Duration units.Tick
+	// Threads is the number of coprocessor hardware threads the offload
+	// occupies; zero for host phases. Offloads within one job may use fewer
+	// threads than the job's declared maximum (paper §III: "offloads do not
+	// always use all 60 cores all the time").
+	Threads units.Threads
+	// TransferIn and TransferOut are the offload's DMA payload sizes (the
+	// pragma's in/out clauses, Fig. 1), moved across the node's shared
+	// PCIe link before and after the kernel. Zero — the default, and the
+	// Table I calibration's choice — folds transfer time into Duration;
+	// explicit sizes expose transfer contention between co-resident jobs
+	// (ablation A5). Host phases must leave both zero.
+	TransferIn, TransferOut units.MB
+}
+
+// Job is a schedulable Xeon Phi offload job.
+type Job struct {
+	// ID is unique within a job set.
+	ID int
+	// Name identifies the instance, e.g. "KM#17" or "syn-normal#3".
+	Name string
+	// Workload is the generating template's name ("KM", "MC", ... or
+	// "synthetic").
+	Workload string
+
+	// Mem is the user-declared maximum coprocessor memory requirement.
+	// The knapsack treats it as the item weight; COSMIC enforces it as a
+	// container limit.
+	Mem units.MB
+	// Threads is the user-declared maximum thread requirement, used by the
+	// knapsack value function (Eq. 1).
+	Threads units.Threads
+
+	// ActualPeakMem is the true peak device memory the job touches. It is
+	// normally <= Mem; a job whose user underestimated (ActualPeakMem > Mem)
+	// is killed by COSMIC's memory container, and in raw MPSS mode can
+	// trigger the device OOM killer (paper §II-C, §IV-D2).
+	ActualPeakMem units.MB
+
+	// Phases is the execution profile, hidden from schedulers.
+	Phases []Phase
+}
+
+// Validate checks internal consistency of the job description.
+func (j *Job) Validate() error {
+	if j.Mem <= 0 {
+		return fmt.Errorf("job %s: non-positive declared memory %v", j.Name, j.Mem)
+	}
+	if j.Threads <= 0 {
+		return fmt.Errorf("job %s: non-positive declared threads %v", j.Name, j.Threads)
+	}
+	if len(j.Phases) == 0 {
+		return errors.New("job " + j.Name + ": empty phase profile")
+	}
+	for i, p := range j.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("job %s: phase %d has non-positive duration %v", j.Name, i, p.Duration)
+		}
+		if p.TransferIn < 0 || p.TransferOut < 0 {
+			return fmt.Errorf("job %s: phase %d has negative transfer size", j.Name, i)
+		}
+		switch p.Kind {
+		case HostPhase:
+			if p.Threads != 0 {
+				return fmt.Errorf("job %s: host phase %d requests %v threads", j.Name, i, p.Threads)
+			}
+			if p.TransferIn != 0 || p.TransferOut != 0 {
+				return fmt.Errorf("job %s: host phase %d declares transfers", j.Name, i)
+			}
+		case OffloadPhase:
+			if p.Threads <= 0 {
+				return fmt.Errorf("job %s: offload phase %d requests no threads", j.Name, i)
+			}
+			if p.Threads > j.Threads {
+				return fmt.Errorf("job %s: offload phase %d requests %v threads, above declared max %v",
+					j.Name, i, p.Threads, j.Threads)
+			}
+		default:
+			return fmt.Errorf("job %s: phase %d has invalid kind %v", j.Name, i, p.Kind)
+		}
+	}
+	return nil
+}
+
+// SequentialTime is the job's run time when it has the coprocessor to
+// itself: the sum of all phase durations.
+func (j *Job) SequentialTime() units.Tick {
+	var total units.Tick
+	for _, p := range j.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// OffloadTime is the total time spent in offload phases.
+func (j *Job) OffloadTime() units.Tick {
+	var total units.Tick
+	for _, p := range j.Phases {
+		if p.Kind == OffloadPhase {
+			total += p.Duration
+		}
+	}
+	return total
+}
+
+// OffloadDutyCycle is the fraction of the sequential run time spent
+// offloading, in [0, 1]. The sharing opportunity quantified in §III comes
+// from this being well below 1 and from offloads using fewer than 240
+// threads.
+func (j *Job) OffloadDutyCycle() float64 {
+	seq := j.SequentialTime()
+	if seq == 0 {
+		return 0
+	}
+	return float64(j.OffloadTime()) / float64(seq)
+}
+
+// MaxOffloadThreads is the widest offload phase in the profile.
+func (j *Job) MaxOffloadThreads() units.Threads {
+	var max units.Threads
+	for _, p := range j.Phases {
+		if p.Kind == OffloadPhase && p.Threads > max {
+			max = p.Threads
+		}
+	}
+	return max
+}
+
+// String summarizes the job for logs.
+func (j *Job) String() string {
+	return fmt.Sprintf("%s(mem=%v threads=%v seq=%v duty=%.2f)",
+		j.Name, j.Mem, j.Threads, j.SequentialTime(), j.OffloadDutyCycle())
+}
+
+// TotalSequentialTime sums SequentialTime over a job set: the serialized
+// lower bound used in makespan sanity checks.
+func TotalSequentialTime(jobs []*Job) units.Tick {
+	var total units.Tick
+	for _, j := range jobs {
+		total += j.SequentialTime()
+	}
+	return total
+}
+
+// MakespanLowerBound returns the classical makespan lower bound for
+// *exclusive* (one job per device) scheduling: the larger of the total
+// sequential work divided by the device count and the critical path (the
+// longest single job). The MC baseline can never beat it. Sharing
+// schedulers can — overlapping one job's host phases with another's
+// offloads compresses the per-device serial sum, which is precisely the
+// paper's thesis — so reports print it as the line sharing must cross,
+// not as a universal floor. (Only the critical-path term binds every
+// schedule.)
+func MakespanLowerBound(jobs []*Job, devices int) units.Tick {
+	if devices <= 0 || len(jobs) == 0 {
+		return 0
+	}
+	var total, longest units.Tick
+	for _, j := range jobs {
+		s := j.SequentialTime()
+		total += s
+		if s > longest {
+			longest = s
+		}
+	}
+	if avg := total / units.Tick(devices); avg > longest {
+		return avg
+	}
+	return longest
+}
+
+// ValidateAll validates every job and checks ID uniqueness.
+func ValidateAll(jobs []*Job) error {
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("duplicate job ID %d (%s)", j.ID, j.Name)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}

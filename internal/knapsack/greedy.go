@@ -1,0 +1,80 @@
+package knapsack
+
+import "sort"
+
+// SolveGreedy solves the same instance with the classical value-density
+// heuristic: items sorted by value per memory unit, taken greedily while
+// they fit. It runs in O(n log n) against the DP's O(n·w·t) and is the
+// natural comparison point for the paper's complexity discussion (§IV-C
+// argues the DP is already near-linear at 50 MB granularity, so the exact
+// solution is affordable; BenchmarkKnapsackGreedyVsDP quantifies both
+// sides).
+//
+// The greedy solution is always feasible but can be arbitrarily far from
+// optimal on adversarial instances; TestGreedyNeverBeatsDP pins the
+// invariant that the DP dominates it.
+func SolveGreedy(cfg Config, items []Item) Result {
+	cfg = cfg.withDefaults()
+	for i, it := range items {
+		if it.Value < 0 {
+			panic("knapsack: negative value in greedy solve")
+		}
+		if it.Mem <= 0 {
+			panic("knapsack: non-positive memory in greedy solve")
+		}
+		_ = i
+	}
+	if cfg.MemCapacity <= 0 || len(items) == 0 {
+		return Result{}
+	}
+
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		// Compare value densities v/m without division: va*mb > vb*ma.
+		da := ia.Value * int64(ib.Mem)
+		db := ib.Value * int64(ia.Mem)
+		if da != db {
+			return da > db
+		}
+		return ia.Mem < ib.Mem // tie-break: smaller item first
+	})
+
+	// Track remaining capacity at the DP's granularity so greedy and DP
+	// solve the identical rounded instance.
+	memLeft := int(cfg.MemCapacity / cfg.MemGranularity)
+	threadsLeft := -1
+	if cfg.ThreadCapacity > 0 {
+		threadsLeft = int(cfg.ThreadCapacity / cfg.ThreadGranularity)
+	}
+
+	var res Result
+	for _, idx := range order {
+		it := items[idx]
+		w := ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+		tw := 0
+		if threadsLeft >= 0 {
+			th := int(it.Threads)
+			if th < 0 {
+				th = 0
+			}
+			tw = ceilDiv(th, int(cfg.ThreadGranularity))
+		}
+		if w > memLeft || (threadsLeft >= 0 && tw > threadsLeft) {
+			continue
+		}
+		memLeft -= w
+		if threadsLeft >= 0 {
+			threadsLeft -= tw
+		}
+		res.Selected = append(res.Selected, idx)
+		res.Value += it.Value
+		res.Mem += it.Mem
+		res.Threads += it.Threads
+	}
+	sort.Ints(res.Selected)
+	return res
+}

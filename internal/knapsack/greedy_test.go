@@ -1,0 +1,184 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phishare/internal/units"
+)
+
+func TestGreedyBasics(t *testing.T) {
+	items := []Item{
+		{Mem: 1000, Value: 10},
+		{Mem: 500, Value: 6},
+		{Mem: 500, Value: 6},
+	}
+	res := SolveGreedy(Config{MemCapacity: 1000}, items)
+	// Density: 6/500 > 10/1000, so greedy takes both small items.
+	if res.Value != 12 || len(res.Selected) != 2 {
+		t.Errorf("greedy result %+v", res)
+	}
+}
+
+func TestGreedyRespectsThreadCap(t *testing.T) {
+	items := []Item{
+		{Mem: 100, Threads: 120, Value: 5},
+		{Mem: 100, Threads: 120, Value: 5},
+		{Mem: 100, Threads: 120, Value: 5},
+	}
+	res := SolveGreedy(Config{MemCapacity: 8192, ThreadCapacity: 240}, items)
+	if len(res.Selected) != 2 || res.Threads != 240 {
+		t.Errorf("greedy thread cap violated: %+v", res)
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	if res := SolveGreedy(Config{MemCapacity: 100}, nil); len(res.Selected) != 0 {
+		t.Errorf("greedy on empty = %+v", res)
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// The classic greedy trap: one dense small item blocks the optimal
+	// big item. Capacity 1000: greedy takes the 100 MB/value-3 item
+	// (density 0.03) before the 1000 MB/value-20 item (density 0.02),
+	// then the big one no longer fits. The DP gets 20.
+	items := []Item{
+		{Mem: 100, Value: 3},
+		{Mem: 1000, Value: 20},
+	}
+	cfg := Config{MemCapacity: 1000}
+	g := SolveGreedy(cfg, items)
+	d := Solve(cfg, items)
+	if g.Value != 3 {
+		t.Errorf("greedy value %d, expected the trap (3)", g.Value)
+	}
+	if d.Value != 20 {
+		t.Errorf("DP value %d, want 20", d.Value)
+	}
+}
+
+// TestGreedyNeverBeatsDP is the dominance property: on the identical
+// rounded instance, the exact DP's value is always >= the heuristic's.
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(24)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Mem:     units.MB(50 + r.Intn(3000)),
+				Threads: units.Threads(r.Intn(241)),
+				Value:   int64(r.Intn(2000)),
+			}
+		}
+		cfg := Config{
+			MemCapacity:    units.MB(500 + r.Intn(7700)),
+			ThreadCapacity: units.Threads(r.Intn(300)),
+		}
+		g := SolveGreedy(cfg, items)
+		d := Solve(cfg, items)
+		return d.Value >= g.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyFeasibility: greedy solutions respect both capacities.
+func TestGreedyFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Mem:     units.MB(1 + r.Intn(4000)),
+				Threads: units.Threads(r.Intn(241)),
+				Value:   int64(r.Intn(1000)),
+			}
+		}
+		cfg := Config{
+			MemCapacity:    units.MB(1 + r.Intn(8192)),
+			ThreadCapacity: 240,
+		}
+		res := SolveGreedy(cfg, items)
+		var mem units.MB
+		var th units.Threads
+		for _, idx := range res.Selected {
+			mem += items[idx].Mem
+			th += items[idx].Threads
+		}
+		return mem == res.Mem && th == res.Threads &&
+			mem <= cfg.MemCapacity && th <= cfg.ThreadCapacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyQualityOnTypicalMix(t *testing.T) {
+	// Quantifies why the paper insists on the exact DP. On the 1-D
+	// memory-only instance (the fill stage's problem), density greedy is
+	// nearly optimal. But on the 2-D instance — where the thread budget,
+	// invisible to memory-density ordering, is the scarce resource — the
+	// heuristic collapses: it burns the 240-thread budget on poorly chosen
+	// widths and can lose more than half the achievable value.
+	r := rand.New(rand.NewSource(5))
+	worst2D, worst1D := 1.0, 1.0
+	for trial := 0; trial < 50; trial++ {
+		items := make([]Item, 30)
+		for i := range items {
+			th := units.Threads(60 * (1 + r.Intn(4)))
+			items[i] = Item{
+				Mem:     units.MB(300 + r.Intn(3100)),
+				Threads: th,
+				Value:   Eq1Value(th, 240)*CountBonusScale(30) + 1,
+			}
+		}
+		for _, dim := range []Config{
+			{MemCapacity: 8192, ThreadCapacity: 240},
+			{MemCapacity: 8192},
+		} {
+			g := SolveGreedy(dim, items)
+			d := Solve(dim, items)
+			if d.Value == 0 {
+				continue
+			}
+			ratio := float64(g.Value) / float64(d.Value)
+			if dim.ThreadCapacity > 0 {
+				if ratio < worst2D {
+					worst2D = ratio
+				}
+			} else if ratio < worst1D {
+				worst1D = ratio
+			}
+		}
+	}
+	if worst1D < 0.9 {
+		t.Errorf("1-D greedy worst-case quality %.2f, want >= 0.9", worst1D)
+	}
+	if worst2D < 0.2 {
+		t.Errorf("2-D greedy quality %.2f below sanity floor", worst2D)
+	}
+	if worst2D > 0.85 {
+		t.Errorf("2-D greedy quality %.2f unexpectedly high — the DP's edge vanished", worst2D)
+	}
+}
+
+func TestGreedyPanicsOnBadItems(t *testing.T) {
+	for name, items := range map[string][]Item{
+		"negative value": {{Mem: 10, Value: -1}},
+		"zero memory":    {{Mem: 0, Value: 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			SolveGreedy(Config{MemCapacity: 100}, items)
+		}()
+	}
+}

@@ -1,0 +1,266 @@
+// Package knapsack implements the 0-1 knapsack solvers at the heart of the
+// sharing-aware scheduler (paper §IV-C).
+//
+// Each Xeon Phi coprocessor is modeled as a knapsack whose capacity is the
+// device's (free) physical memory; the items are pending jobs weighted by
+// their declared memory requirement. The value of a job decreases with its
+// thread request (Eq. 1: v = 1 - (t/240)^2) so that maximizing knapsack value
+// packs many low-thread jobs together, maximizing concurrency.
+//
+// Two solvers are provided:
+//
+//   - a classic 1-D dynamic program over memory, as described in the paper's
+//     complexity analysis (O(n·w) with w = capacity/granularity, e.g.
+//     8 GB / 50 MB = 164 memory units);
+//   - a 2-D dynamic program over (memory, threads) that additionally bounds
+//     the total thread request of the selected set. The paper expresses the
+//     thread bound by zeroing the value of oversubscribed sets; bounding the
+//     DP state is the standard equivalent formulation and avoids enumerating
+//     sets at all.
+//
+// Values are non-negative scaled integers. Callers that want the paper's
+// "as many jobs as possible" tie-break add a small per-item bonus via
+// CountBonus so that among equal-value sets the larger one wins.
+package knapsack
+
+import (
+	"fmt"
+
+	"phishare/internal/units"
+)
+
+// Item is one candidate job for a knapsack.
+type Item struct {
+	Mem     units.MB      // declared coprocessor memory requirement (weight)
+	Threads units.Threads // declared thread requirement
+	Value   int64         // non-negative scaled value
+}
+
+// Config describes one knapsack instance.
+type Config struct {
+	// MemCapacity is the knapsack capacity: the device memory (or the freed
+	// portion of it, for the incremental knapsacks of Fig. 4).
+	MemCapacity units.MB
+	// MemGranularity is the memory quantum of the DP. The paper uses 50 MB.
+	// Item weights are rounded *up* to the granularity, so a solution is
+	// always feasible at byte resolution. Defaults to 50 MB if zero.
+	MemGranularity units.MB
+	// ThreadCapacity bounds the total threads of the selected set. Zero (or
+	// negative) disables the thread dimension and yields the 1-D solver.
+	ThreadCapacity units.Threads
+	// ThreadGranularity is the thread quantum of the 2-D DP. Item thread
+	// requests are rounded up, the capacity is rounded down, keeping
+	// solutions conservative. Defaults to 4 (one Xeon Phi core's worth).
+	ThreadGranularity units.Threads
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemGranularity <= 0 {
+		c.MemGranularity = 50
+	}
+	if c.ThreadGranularity <= 0 {
+		c.ThreadGranularity = 4
+	}
+	return c
+}
+
+// Result is a solved knapsack.
+type Result struct {
+	Selected []int         // indices into the item slice, ascending
+	Value    int64         // total value of the selected set
+	Mem      units.MB      // total declared memory of the selected set
+	Threads  units.Threads // total declared threads of the selected set
+}
+
+// Eq1Scale is the integer scale applied to the paper's Eq. 1 value, which
+// lies in [0, 1]. With scale 1000, value resolution is 0.001.
+const Eq1Scale = 1000
+
+// Eq1Value computes the paper's Eq. 1 job value, scaled to an integer:
+//
+//	v = round((1 - (t/T)^2) · Eq1Scale)
+//
+// T is the device hardware thread count (240 for the Xeon Phi 5110P).
+// Requests above T (which COSMIC would refuse to run concurrently with
+// anything) clamp to value 0; non-positive T panics.
+func Eq1Value(t, T units.Threads) int64 {
+	if T <= 0 {
+		panic(fmt.Sprintf("knapsack: non-positive hardware thread count %d", T))
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > T {
+		t = T
+	}
+	frac := float64(t) / float64(T)
+	return int64((1-frac*frac)*Eq1Scale + 0.5)
+}
+
+// CountBonus returns the per-item bonus that implements the paper's
+// "pack as many jobs as possible" objective as a tie-break under the Eq. 1
+// value: each item is worth an extra 1 while true value differences are
+// scaled by maxItems+1, so a 0.001 difference in total Eq. 1 value always
+// dominates any difference in set size.
+//
+// Callers combine: item.Value = Eq1Value(t, T)*CountBonusScale(maxItems) + 1.
+func CountBonusScale(maxItems int) int64 {
+	return int64(maxItems) + 1
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Solve solves the knapsack instance and returns the best item set.
+//
+// The objective is maximum total Value subject to the memory capacity and
+// (when ThreadCapacity > 0) the thread capacity. Items whose individual
+// weight exceeds a capacity are never selected. Items with negative Value
+// or non-positive Mem are rejected with a panic: a zero-memory job would let
+// the DP pack infinitely many copies of nothing, which is always a caller
+// bug in this system (every real offload job reserves device memory).
+func Solve(cfg Config, items []Item) Result {
+	cfg = cfg.withDefaults()
+	for i, it := range items {
+		if it.Value < 0 {
+			panic(fmt.Sprintf("knapsack: item %d has negative value %d", i, it.Value))
+		}
+		if it.Mem <= 0 {
+			panic(fmt.Sprintf("knapsack: item %d has non-positive memory %v", i, it.Mem))
+		}
+	}
+	if cfg.MemCapacity <= 0 || len(items) == 0 {
+		return Result{}
+	}
+	if cfg.ThreadCapacity > 0 {
+		return solve2D(cfg, items)
+	}
+	return solve1D(cfg, items)
+}
+
+// solve1D is the paper's O(n·w) dynamic program over memory units.
+func solve1D(cfg Config, items []Item) Result {
+	W := int(cfg.MemCapacity / cfg.MemGranularity) // capacity rounded down: conservative
+	if W == 0 {
+		return Result{}
+	}
+	weights := make([]int, len(items))
+	for i, it := range items {
+		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+	}
+
+	// dp[m] = best value using a prefix of items with memory budget m.
+	// take[i] is the DP row of "item i taken at budget m" decisions.
+	dp := make([]int64, W+1)
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		w := weights[i]
+		row := make([]bool, W+1)
+		take[i] = row
+		if w > W {
+			continue
+		}
+		for m := W; m >= w; m-- {
+			if cand := dp[m-w] + it.Value; cand > dp[m] {
+				dp[m] = cand
+				row[m] = true
+			}
+		}
+	}
+
+	return reconstruct1D(items, weights, take, W, dp[W])
+}
+
+func reconstruct1D(items []Item, weights []int, take [][]bool, W int, best int64) Result {
+	res := Result{Value: best}
+	m := W
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][m] {
+			res.Selected = append(res.Selected, i)
+			res.Mem += items[i].Mem
+			res.Threads += items[i].Threads
+			m -= weights[i]
+		}
+	}
+	reverse(res.Selected)
+	return res
+}
+
+// solve2D bounds both memory and total threads:
+// dp[m][t] = best value with memory budget m and thread budget t.
+func solve2D(cfg Config, items []Item) Result {
+	W := int(cfg.MemCapacity / cfg.MemGranularity)
+	T := int(cfg.ThreadCapacity / cfg.ThreadGranularity) // rounded down: conservative
+	if W == 0 || T == 0 {
+		return Result{}
+	}
+	weights := make([]int, len(items))
+	tweights := make([]int, len(items))
+	for i, it := range items {
+		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+		th := int(it.Threads)
+		if th < 0 {
+			th = 0
+		}
+		tweights[i] = ceilDiv(th, int(cfg.ThreadGranularity))
+	}
+
+	cols := T + 1
+	dp := make([]int64, (W+1)*cols) // dp[m*cols+t]
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		w, tw := weights[i], tweights[i]
+		row := make([]bool, (W+1)*cols)
+		take[i] = row
+		if w > W || tw > T {
+			continue
+		}
+		for m := W; m >= w; m-- {
+			base := m * cols
+			prev := (m - w) * cols
+			for t := T; t >= tw; t-- {
+				if cand := dp[prev+t-tw] + it.Value; cand > dp[base+t] {
+					dp[base+t] = cand
+					row[base+t] = true
+				}
+			}
+		}
+	}
+
+	res := Result{Value: dp[W*cols+T]}
+	m, t := W, T
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][m*cols+t] {
+			res.Selected = append(res.Selected, i)
+			res.Mem += items[i].Mem
+			res.Threads += items[i].Threads
+			m -= weights[i]
+			t -= tweights[i]
+		}
+	}
+	reverse(res.Selected)
+	return res
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// MaxCount solves the memory-only knapsack that maximizes the *number* of
+// selected items (every item worth 1). The greedy cluster loop uses it as
+// the degenerate objective when every candidate has Eq. 1 value zero — the
+// high-resource-skew regime, where concurrency still helps via offload
+// time-multiplexing (paper Fig. 2) even though no value distinguishes jobs.
+func MaxCount(cfg Config, items []Item) Result {
+	unit := make([]Item, len(items))
+	for i, it := range items {
+		unit[i] = Item{Mem: it.Mem, Threads: it.Threads, Value: 1}
+	}
+	cfg.ThreadCapacity = 0 // memory-only
+	res := Solve(cfg, unit)
+	// Recompute aggregate value as count for clarity.
+	res.Value = int64(len(res.Selected))
+	return res
+}

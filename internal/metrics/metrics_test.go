@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"testing"
+
+	"phishare/internal/units"
+)
+
+func TestCoreUtilizationBasic(t *testing.T) {
+	u := NewCoreUtilization(60)
+	u.Record(0, 30)    // 30 cores busy from 0
+	u.Record(1000, 0)  // idle from 1000
+	// Over [0, 2000]: 30*1000 busy-core-ticks of 60*2000 capacity = 0.25.
+	if got := u.Utilization(2000); got != 0.25 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+	if got := u.BusyCoreSeconds(2000); got != 30 {
+		t.Errorf("BusyCoreSeconds = %v, want 30", got)
+	}
+}
+
+func TestCoreUtilizationOpenTail(t *testing.T) {
+	// The device stays busy past the last sample; Utilization extends the
+	// final level to end.
+	u := NewCoreUtilization(60)
+	u.Record(0, 60)
+	if got := u.Utilization(5000); got != 1.0 {
+		t.Errorf("Utilization = %v, want 1.0", got)
+	}
+}
+
+func TestCoreUtilizationMultipleLevels(t *testing.T) {
+	u := NewCoreUtilization(10)
+	u.Record(0, 10)
+	u.Record(100, 5)
+	u.Record(300, 0)
+	// busy: 10*100 + 5*200 = 2000 over 10*400 = 4000 -> 0.5
+	if got := u.Utilization(400); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestCoreUtilizationZeroEnd(t *testing.T) {
+	u := NewCoreUtilization(10)
+	if got := u.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v", got)
+	}
+}
+
+func TestCoreUtilizationPanics(t *testing.T) {
+	u := NewCoreUtilization(10)
+	u.Record(100, 5)
+	for name, fn := range map[string]func(){
+		"backwards time": func() { u.Record(50, 1) },
+		"negative busy":  func() { u.Record(200, -1) },
+		"busy over cores": func() { u.Record(200, 11) },
+		"zero cores":      func() { NewCoreUtilization(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	records := []JobRecord{
+		{ID: 0, SubmitTime: 0, StartTime: 100, EndTime: 1100, Completed: true},
+		{ID: 1, SubmitTime: 0, StartTime: 300, EndTime: 2300, Completed: true},
+		{ID: 2, SubmitTime: 0, StartTime: 500, EndTime: 900, Completed: false, Crashes: 2},
+	}
+	u := NewCoreUtilization(60)
+	u.Record(0, 30)
+	s := Summarize(records, []*CoreUtilization{u}, 2300)
+	if s.Jobs != 3 || s.Completed != 2 || s.Failed != 1 || s.Crashes != 2 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.MeanWait != 300 {
+		t.Errorf("MeanWait = %v, want 300", s.MeanWait)
+	}
+	if s.AvgUtilization != 0.5 {
+		t.Errorf("AvgUtilization = %v, want 0.5", s.AvgUtilization)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, nil, 0)
+	if s.Jobs != 0 || s.MeanWait != 0 || s.AvgUtilization != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(3568*units.Second, 2183*units.Second); got < 0.38 || got > 0.40 {
+		t.Errorf("Reduction = %v, want ~0.39 (the paper's Table II)", got)
+	}
+	if Reduction(0, 100) != 0 {
+		t.Error("Reduction with zero baseline should be 0")
+	}
+	if Reduction(100, 100) != 0 {
+		t.Error("Reduction of equal values should be 0")
+	}
+	if Reduction(100, 150) >= 0 {
+		t.Error("regression should be negative")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []units.Tick{50, 10, 30, 20, 40}
+	if got := Percentile(ds, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(ds, 100); got != 50 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(ds, 50); got != 30 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if ds[0] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestJobRecordWaitTime(t *testing.T) {
+	r := JobRecord{SubmitTime: 100, StartTime: 350}
+	if r.WaitTime() != 250 {
+		t.Errorf("WaitTime = %v", r.WaitTime())
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); got != 1 {
+		t.Errorf("equal allocations index = %v, want 1", got)
+	}
+	// One user hogging everything among n: index = 1/n.
+	if got := JainIndex([]float64{4, 0, 0, 0}); got != 0.25 {
+		t.Errorf("monopolized index = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Error("degenerate Jain index not 0")
+	}
+	mid := JainIndex([]float64{3, 1})
+	if mid <= 0.25 || mid >= 1 {
+		t.Errorf("skewed index %v out of (0.25, 1)", mid)
+	}
+}

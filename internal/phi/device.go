@@ -1,0 +1,578 @@
+// Package phi simulates Intel Xeon Phi coprocessor devices at the level of
+// detail the paper's schedulers observe: hardware threads, cores, device
+// memory, COI processes and offload execution (paper §II).
+//
+// The device reproduces raw MPSS semantics: any host process can attach a
+// COI process and launch offloads at any time, with *no* admission control.
+// Consequences of oversubscription are modeled after the COSMIC paper [6],
+// which this paper cites for its motivation numbers:
+//
+//   - Thread oversubscription: all running offloads slow down. The model is
+//     processor sharing over the effective core capacity — with the default
+//     (non-affinitized) thread placement, overlapping offloads contend for
+//     the same low-numbered cores while other cores sit idle, so capacity
+//     is the *widest single offload's* core footprint. [6] reports up to
+//     ~800% degradation; that emerges here when many offloads overlap.
+//
+//   - Memory oversubscription: when the total *actual* (committed) memory
+//     of resident processes exceeds device memory, an OOM killer terminates
+//     randomly chosen processes until the rest fit — the arbitrary crash
+//     behaviour of §II-C. Committed memory grows over a process's life
+//     (small at attach, full at first offload), reproducing the "two jobs
+//     fit now but crash later as their stacks grow" hazard.
+//
+// COSMIC-managed behaviour (offload serialization so thread oversubscription
+// never happens, core affinitization, per-job memory containers) is layered
+// on top by package cosmic; enabling it flips the device to affinitized
+// accounting, where concurrent offloads occupy disjoint cores.
+package phi
+
+import (
+	"fmt"
+	"math"
+
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// Config describes a Xeon Phi model. The paper's cluster uses 5110P-class
+// cards: 60 cores, 4 hardware threads per core, 8 GB device memory.
+type Config struct {
+	Cores          int
+	ThreadsPerCore int
+	Memory         units.MB
+	// SpinContention models resident-set thread oversubscription: each COI
+	// process's OpenMP worker pool persists after its first offload and
+	// spins between offloads (Intel's KMP_BLOCKTIME behaviour), so when the
+	// *combined declared threads of warm resident processes* exceed the
+	// hardware threads, running offloads context-switch against spinning
+	// workers. Offload speed is divided by
+	//
+	//	1 + SpinContention · max(0, warmThreads/HWThreads − 1).
+	//
+	// This is the §II-C / [6] degradation regime that makes the paper's
+	// thread-bounded knapsack packing matter: a device packed with jobs
+	// totaling ≤ 240 threads pays nothing, an arbitrarily packed one pays
+	// proportionally to its oversubscription. Zero disables the effect
+	// (useful for exact-timing unit tests).
+	SpinContention float64
+}
+
+// DefaultSpinContention is the calibrated coefficient of the resident-set
+// contention model; at 4 co-resident full-width jobs (4×240 threads) it
+// yields a ~2x slowdown, the middle of the degradation range [6] reports.
+const DefaultSpinContention = 0.35
+
+// DefaultConfig is the 5110P used throughout the paper's evaluation,
+// including the default contention model.
+func DefaultConfig() Config {
+	return Config{Cores: 60, ThreadsPerCore: 4, Memory: units.GB(8), SpinContention: DefaultSpinContention}
+}
+
+// BareConfig is the 5110P with the contention model disabled: pure
+// hardware limits only. Unit tests with exact timing expectations use it.
+func BareConfig() Config {
+	return Config{Cores: 60, ThreadsPerCore: 4, Memory: units.GB(8)}
+}
+
+// HWThreads is the device's hardware thread count (240 on the 5110P).
+func (c Config) HWThreads() units.Threads {
+	return units.Threads(c.Cores * c.ThreadsPerCore)
+}
+
+func (c Config) validate() error {
+	if c.Cores <= 0 || c.ThreadsPerCore <= 0 || c.Memory <= 0 || c.SpinContention < 0 {
+		return fmt.Errorf("phi: invalid config %+v", c)
+	}
+	return nil
+}
+
+// UtilSink receives busy-core samples; metrics.CoreUtilization implements
+// it. A nil sink disables sampling.
+type UtilSink interface {
+	// Record notes that from now on the device keeps busyCores cores busy.
+	Record(now units.Tick, busyCores int)
+}
+
+// TraceSink observes offload lifecycle events on the device, at actual
+// device occupancy times (after any COSMIC queueing). trace.Recorder
+// implements it to reconstruct the usage profiles of Figs. 2–3.
+type TraceSink interface {
+	// OffloadStarted fires when a kernel begins occupying threads.
+	OffloadStarted(now units.Tick, jobName string, threads units.Threads)
+	// OffloadEnded fires when the kernel completes (completed=true) or its
+	// process dies mid-offload (completed=false).
+	OffloadEnded(now units.Tick, jobName string, completed bool)
+}
+
+// OffloadOutcome reports how an offload ended.
+type OffloadOutcome int
+
+const (
+	// OffloadCompleted means the kernel ran to completion.
+	OffloadCompleted OffloadOutcome = iota
+	// OffloadAborted means the owning process was killed mid-offload.
+	OffloadAborted
+)
+
+// KillReason explains a process termination.
+type KillReason int
+
+const (
+	// KillOOM: the device OOM killer chose this process.
+	KillOOM KillReason = iota
+	// KillContainer: COSMIC's memory container caught the process
+	// exceeding its declared limit.
+	KillContainer
+	// KillDetach: the owner detached the process.
+	KillDetach
+)
+
+func (k KillReason) String() string {
+	switch k {
+	case KillOOM:
+		return "oom"
+	case KillContainer:
+		return "container"
+	case KillDetach:
+		return "detach"
+	}
+	return fmt.Sprintf("KillReason(%d)", int(k))
+}
+
+// Process is the device-side COI process created for each host job that
+// offloads to this device (§II-B).
+type Process struct {
+	Job *job.Job
+
+	dev   *Device
+	alive bool
+	usage units.MB // committed device memory right now
+	warm  bool     // OpenMP worker pool created (first offload ran)
+
+	off *offload // in-flight offload, nil if the job is in a host phase
+
+	// OnKill, if set, is invoked when the device (or a manager) kills the
+	// process. The in-flight offload, if any, is aborted first.
+	OnKill func(reason KillReason)
+}
+
+// Alive reports whether the process still exists on the device.
+func (p *Process) Alive() bool { return p.alive }
+
+// Usage returns the process's committed device memory.
+func (p *Process) Usage() units.MB { return p.usage }
+
+// Offloading reports whether the process has an in-flight offload.
+func (p *Process) Offloading() bool { return p.off != nil }
+
+// offload is one in-flight kernel execution.
+type offload struct {
+	proc      *Process
+	threads   units.Threads
+	remaining float64 // work remaining, in ticks at full speed
+	done      func(OffloadOutcome)
+}
+
+// Stats aggregates device activity counters.
+type Stats struct {
+	OffloadsStarted   int
+	OffloadsCompleted int
+	OffloadsAborted   int
+	ProcessesAttached int
+	OOMKills          int
+}
+
+// Device is one simulated coprocessor.
+type Device struct {
+	ID  string
+	cfg Config
+
+	eng  *sim.Engine
+	rand *rng.Source
+	sink UtilSink
+
+	// Affinitized selects COSMIC-style core accounting: concurrent offloads
+	// occupy disjoint cores (package cosmic sets this). Without it, default
+	// MPSS placement overlaps offloads on the same cores.
+	Affinitized bool
+
+	// Trace, if non-nil, observes offload start/end events.
+	Trace TraceSink
+
+	procs    map[*Process]bool
+	offloads []*offload
+	// warmThreads is the combined declared thread count of processes whose
+	// worker pools exist (see Config.SpinContention).
+	warmThreads units.Threads
+
+	lastAdvance units.Tick
+	timer       *sim.Timer
+	lastBusy    int
+
+	stats Stats
+}
+
+// NewDevice creates a device. rand drives OOM victim selection; a nil sink
+// disables utilization sampling.
+func NewDevice(eng *sim.Engine, id string, cfg Config, rand *rng.Source, sink UtilSink) *Device {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if rand == nil {
+		rand = rng.New(1)
+	}
+	d := &Device{
+		ID:   id,
+		cfg:  cfg,
+		eng:  eng,
+		rand: rand,
+		sink: sink,
+		procs: map[*Process]bool{},
+	}
+	return d
+}
+
+// Config returns the device model.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ProcessCount is the number of live COI processes.
+func (d *Device) ProcessCount() int { return len(d.procs) }
+
+// RunningThreads is the total hardware-thread demand of in-flight offloads.
+func (d *Device) RunningThreads() units.Threads {
+	var t units.Threads
+	for _, o := range d.offloads {
+		t += o.threads
+	}
+	return t
+}
+
+// RunningOffloads is the number of in-flight offloads.
+func (d *Device) RunningOffloads() int { return len(d.offloads) }
+
+// CommittedMemory is the total actual memory committed by live processes.
+func (d *Device) CommittedMemory() units.MB {
+	var m units.MB
+	for p := range d.procs {
+		m += p.usage
+	}
+	return m
+}
+
+// Attach creates a COI process for j. Like real MPSS, it performs no
+// admission control: memory pressure materializes later, via the OOM model.
+// The initial commitment is a fraction of the job's eventual peak —
+// Linux does not commit memory at allocation (§II-C).
+func (d *Device) Attach(j *job.Job) *Process {
+	p := &Process{
+		Job:   j,
+		dev:   d,
+		alive: true,
+		usage: units.MB(float64(j.ActualPeakMem) * 0.3),
+	}
+	d.procs[p] = true
+	d.stats.ProcessesAttached++
+	d.checkOOM()
+	return p
+}
+
+// Detach removes the process, releasing its memory. An in-flight offload is
+// aborted. Detaching a dead process is a no-op.
+func (d *Device) Detach(p *Process) {
+	if !p.alive {
+		return
+	}
+	d.terminate(p, KillDetach)
+}
+
+// Kill terminates the process for the given reason (used by COSMIC's
+// memory containers).
+func (d *Device) Kill(p *Process, reason KillReason) {
+	if !p.alive {
+		return
+	}
+	d.terminate(p, reason)
+}
+
+func (d *Device) terminate(p *Process, reason KillReason) {
+	p.alive = false
+	delete(d.procs, p)
+	if p.warm {
+		p.warm = false
+		d.warmThreads -= p.Job.Threads
+	}
+	if p.off != nil {
+		d.abortOffload(p.off)
+	}
+	if reason != KillDetach {
+		// Deliver asynchronously so the owner observes a consistent device,
+		// and so a kill that happens synchronously inside Attach (OOM on
+		// admission) still reaches an OnKill handler installed just after
+		// Attach returns.
+		d.eng.After(0, func() {
+			if p.OnKill != nil {
+				p.OnKill(reason)
+			}
+		})
+	}
+}
+
+// StartOffload launches a kernel on the device for process p. work is the
+// kernel's duration at full speed; done fires when the offload completes or
+// aborts. Exactly one offload per process may be in flight (the COI model:
+// the host process blocks on the offload pragma).
+//
+// Raw MPSS semantics: the offload starts immediately regardless of thread
+// pressure. The offload also commits the process's memory to its peak
+// (buffers are transferred in), which can trigger the OOM killer — possibly
+// killing p itself, in which case done receives OffloadAborted.
+func (d *Device) StartOffload(p *Process, threads units.Threads, work units.Tick, done func(OffloadOutcome)) {
+	if !p.alive {
+		panic("phi: offload from dead process " + p.Job.Name)
+	}
+	if p.off != nil {
+		panic("phi: concurrent offloads from one process " + p.Job.Name)
+	}
+	if threads <= 0 || work <= 0 {
+		panic(fmt.Sprintf("phi: invalid offload threads=%v work=%v", threads, work))
+	}
+	d.advance()
+	if !p.warm {
+		// First offload: the process's OpenMP worker pool comes to life and
+		// persists (spinning) for the rest of the process's residency.
+		p.warm = true
+		d.warmThreads += p.Job.Threads
+	}
+	o := &offload{proc: p, threads: threads, remaining: float64(work), done: done}
+	p.off = o
+	d.offloads = append(d.offloads, o)
+	d.stats.OffloadsStarted++
+	if d.Trace != nil {
+		d.Trace.OffloadStarted(d.eng.Now(), p.Job.Name, threads)
+	}
+
+	// Transferring in the offload's buffers commits the process's peak.
+	p.usage = p.Job.ActualPeakMem
+	d.checkOOM()
+	if !p.alive {
+		return // OOM killed p itself; done already notified via abort.
+	}
+	d.replan()
+}
+
+// abortOffload removes o from the run queue and notifies its owner.
+func (d *Device) abortOffload(o *offload) {
+	d.advance()
+	for i, x := range d.offloads {
+		if x == o {
+			d.offloads = append(d.offloads[:i], d.offloads[i+1:]...)
+			break
+		}
+	}
+	o.proc.off = nil
+	d.stats.OffloadsAborted++
+	if d.Trace != nil {
+		d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, false)
+	}
+	done := o.done
+	d.eng.After(0, func() { done(OffloadAborted) })
+	d.replan()
+}
+
+// speed returns the current processor-sharing rate in (0, 1]: the ratio of
+// effective hardware-thread capacity to running-offload demand (capped at
+// 1), divided by the resident-set spin-contention factor (see
+// Config.SpinContention).
+func (d *Device) speed() float64 {
+	demand := 0
+	for _, o := range d.offloads {
+		demand += int(o.threads)
+	}
+	if demand == 0 {
+		return 1
+	}
+	capacity := d.busyCores() * d.cfg.ThreadsPerCore
+	rate := 1.0
+	if capacity < demand {
+		rate = float64(capacity) / float64(demand)
+	}
+	if d.cfg.SpinContention > 0 {
+		hw := float64(d.cfg.HWThreads())
+		if over := (float64(d.warmThreads) - hw) / hw; over > 0 {
+			rate /= 1 + d.cfg.SpinContention*over
+		}
+	}
+	return rate
+}
+
+// busyCores returns how many cores the in-flight offloads keep busy.
+// Affinitized: disjoint placement, so footprints add. Default MPSS
+// placement: every offload's threads start at core 0, so footprints
+// overlap and only the widest counts (§IV-D2's motivation for COSMIC's
+// affinitization).
+func (d *Device) busyCores() int {
+	cores := 0
+	for _, o := range d.offloads {
+		c := o.threads.Cores()
+		if d.Affinitized {
+			cores += c
+		} else if c > cores {
+			cores = c
+		}
+	}
+	if cores > d.cfg.Cores {
+		cores = d.cfg.Cores
+	}
+	return cores
+}
+
+// advance applies elapsed progress to every in-flight offload.
+func (d *Device) advance() {
+	now := d.eng.Now()
+	elapsed := now - d.lastAdvance
+	d.lastAdvance = now
+	if elapsed > 0 {
+		rate := d.speed()
+		for _, o := range d.offloads {
+			o.remaining -= float64(elapsed) * rate
+		}
+	}
+	d.sample()
+}
+
+func (d *Device) sample() {
+	if d.sink == nil {
+		return
+	}
+	busy := d.busyCores()
+	if busy != d.lastBusy {
+		d.sink.Record(d.eng.Now(), busy)
+		d.lastBusy = busy
+	}
+}
+
+const workEpsilon = 1e-6
+
+// replan schedules the next completion event under the current sharing rate.
+func (d *Device) replan() {
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.sample()
+	if len(d.offloads) == 0 {
+		return
+	}
+	min := math.Inf(1)
+	for _, o := range d.offloads {
+		if o.remaining < min {
+			min = o.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	rate := d.speed()
+	dt := units.Tick(math.Ceil(min / rate))
+	d.timer = d.eng.AfterTimer(dt, d.onCompletionTick)
+}
+
+// onCompletionTick fires when the earliest offload should be done; it
+// completes everything that has run out of work and replans.
+func (d *Device) onCompletionTick() {
+	d.timer = nil
+	d.advance()
+	var finished []*offload
+	var still []*offload
+	for _, o := range d.offloads {
+		if o.remaining <= workEpsilon {
+			finished = append(finished, o)
+		} else {
+			still = append(still, o)
+		}
+	}
+	d.offloads = still
+	for _, o := range finished {
+		o.proc.off = nil
+		d.stats.OffloadsCompleted++
+		if d.Trace != nil {
+			d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, true)
+		}
+		done := o.done
+		d.eng.After(0, func() { done(OffloadCompleted) })
+	}
+	d.replan()
+}
+
+// checkOOM models the Linux OOM killer on the card: while committed memory
+// exceeds physical memory, a random process dies (§II-C: "randomly
+// terminates processes").
+func (d *Device) checkOOM() {
+	for d.CommittedMemory() > d.cfg.Memory && len(d.procs) > 0 {
+		victims := make([]*Process, 0, len(d.procs))
+		for p := range d.procs {
+			victims = append(victims, p)
+		}
+		// Deterministic order before the random draw.
+		sortProcs(victims)
+		victim := victims[d.rand.Intn(len(victims))]
+		d.stats.OOMKills++
+		d.terminate(victim, KillOOM)
+	}
+}
+
+func sortProcs(ps []*Process) {
+	// Insertion sort by job ID: n is tiny (resident jobs per device).
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Job.ID < ps[j-1].Job.ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// FreeHWThreads is the hardware-thread headroom: total minus in-flight
+// demand. Negative when oversubscribed (raw mode only).
+func (d *Device) FreeHWThreads() units.Threads {
+	return d.cfg.HWThreads() - d.RunningThreads()
+}
+
+// Snapshot is a point-in-time view of device state — what the real stack
+// exposes through micinfo and the coprocessor's /proc filesystem (§II-B),
+// and what monitoring or estimation tooling polls.
+type Snapshot struct {
+	ID              string
+	ResidentJobs    int
+	RunningOffloads int
+	RunningThreads  units.Threads
+	BusyCores       int
+	CommittedMemory units.MB
+	TotalMemory     units.MB
+	WarmThreads     units.Threads
+}
+
+// Snapshot captures the current device state.
+func (d *Device) Snapshot() Snapshot {
+	return Snapshot{
+		ID:              d.ID,
+		ResidentJobs:    len(d.procs),
+		RunningOffloads: len(d.offloads),
+		RunningThreads:  d.RunningThreads(),
+		BusyCores:       d.busyCores(),
+		CommittedMemory: d.CommittedMemory(),
+		TotalMemory:     d.cfg.Memory,
+		WarmThreads:     d.warmThreads,
+	}
+}
+
+// String renders the snapshot micinfo-style.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("%s: jobs=%d offloads=%d threads=%v cores=%d mem=%v/%v warm=%v",
+		s.ID, s.ResidentJobs, s.RunningOffloads, s.RunningThreads,
+		s.BusyCores, s.CommittedMemory, s.TotalMemory, s.WarmThreads)
+}

@@ -1,0 +1,153 @@
+package scheduler_test
+
+import (
+	"strings"
+	"testing"
+
+	"phishare/internal/classad"
+	"phishare/internal/cluster"
+	"phishare/internal/condor"
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/scheduler"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+func mkJob(id int, mem units.MB, threads units.Threads) *job.Job {
+	return &job.Job{
+		ID: id, Name: "j", Workload: "test",
+		Mem: mem, Threads: threads, ActualPeakMem: units.MB(float64(mem) * 0.9),
+		Phases: []job.Phase{
+			{Kind: job.OffloadPhase, Duration: units.Second, Threads: threads},
+		},
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if scheduler.NewExclusive().Name() != "MC" {
+		t.Error("Exclusive name")
+	}
+	if scheduler.NewRandomPack(rng.New(1)).Name() != "MCC" {
+		t.Error("RandomPack name")
+	}
+	if scheduler.NewAgnostic(rng.New(1)).Name() != "Agnostic" {
+		t.Error("Agnostic name")
+	}
+}
+
+func TestRequirementsExpressionsParse(t *testing.T) {
+	policies := []condor.Policy{
+		scheduler.NewExclusive(),
+		scheduler.NewRandomPack(rng.New(1)),
+		scheduler.NewAgnostic(rng.New(1)),
+	}
+	for _, p := range policies {
+		if _, err := classad.Parse(p.MachineRequirements()); err != nil {
+			t.Errorf("%s machine requirements do not parse: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestExclusivePrepareJobAd(t *testing.T) {
+	p := scheduler.NewExclusive()
+	q := &condor.QueuedJob{Job: mkJob(0, 500, 60), Ad: classad.NewAd()}
+	q.Ad.SetInt(condor.AttrRequestPhiDevices, 1)
+	p.PrepareJobAd(q)
+	machine := classad.NewAd()
+	machine.SetInt(condor.AttrPhiFreeDevices, 1)
+	if !classad.Match(q.Ad, machine) {
+		t.Error("MC job does not match a free device")
+	}
+	machine.SetInt(condor.AttrPhiFreeDevices, 0)
+	if classad.Match(q.Ad, machine) {
+		t.Error("MC job matched a claimed device")
+	}
+}
+
+func TestRandomPackSelectCoversAllCandidates(t *testing.T) {
+	p := scheduler.NewRandomPack(rng.New(42))
+	cands := make([]*condor.Machine, 4)
+	for i := range cands {
+		cands[i] = &condor.Machine{}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		idx := p.Select(nil, nil, cands)
+		if idx < 0 || idx >= len(cands) {
+			t.Fatalf("Select out of range: %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("random selection covered %d/4 candidates", len(seen))
+	}
+}
+
+func TestNewRandomPackNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil rng accepted")
+		}
+	}()
+	scheduler.NewRandomPack(nil)
+}
+
+func TestNewAgnosticNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil rng accepted")
+		}
+	}()
+	scheduler.NewAgnostic(nil)
+}
+
+func TestAgnosticMachineRequirementsCapsResidents(t *testing.T) {
+	p := scheduler.NewAgnostic(rng.New(1))
+	if !strings.Contains(p.MachineRequirements(), "16") {
+		t.Errorf("default cap missing: %q", p.MachineRequirements())
+	}
+	p.MaxResident = 4
+	if !strings.Contains(p.MachineRequirements(), "4") {
+		t.Errorf("custom cap missing: %q", p.MachineRequirements())
+	}
+}
+
+func TestExclusiveDeviceReleasedBetweenJobs(t *testing.T) {
+	// Sequential execution on one device: job 2 starts only after job 1
+	// finishes (plus renegotiation overhead).
+	eng := sim.New()
+	clu := cluster.New(eng, cluster.Config{Nodes: 1})
+	pool := condor.NewPool(eng, clu, scheduler.NewExclusive(), condor.Config{})
+	pool.Submit([]*job.Job{mkJob(0, 500, 60), mkJob(1, 500, 60)})
+	eng.Run()
+	recs := pool.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records %d", len(recs))
+	}
+	first, second := recs[0], recs[1]
+	if second.StartTime < first.EndTime {
+		t.Errorf("second job started at %v before first ended at %v", second.StartTime, first.EndTime)
+	}
+}
+
+func TestRandomPackDistributesLoad(t *testing.T) {
+	// With 4 devices and many small jobs, random packing should touch
+	// several machines.
+	eng := sim.New()
+	clu := cluster.New(eng, cluster.Config{Nodes: 4, UseCosmic: true, Seed: 3})
+	pool := condor.NewPool(eng, clu, scheduler.NewRandomPack(rng.New(3)), condor.Config{})
+	var jobs []*job.Job
+	for i := 0; i < 24; i++ {
+		jobs = append(jobs, mkJob(i, 1000, 60))
+	}
+	pool.Submit(jobs)
+	eng.Run()
+	used := map[string]bool{}
+	for _, r := range pool.Records() {
+		used[r.Machine] = true
+	}
+	if len(used) < 3 {
+		t.Errorf("random packing used only %d machines", len(used))
+	}
+}

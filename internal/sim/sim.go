@@ -1,0 +1,160 @@
+// Package sim implements the deterministic discrete-event engine that drives
+// the cluster simulation.
+//
+// Every component in the system — Xeon Phi devices, COSMIC offload queues,
+// Condor negotiation cycles, job phase transitions — advances by scheduling
+// callbacks on a single Engine. The engine maintains a priority queue of
+// events ordered by (time, insertion sequence); the sequence number breaks
+// ties so that two events at the same instant always fire in the order they
+// were scheduled, which makes simulations bit-for-bit reproducible across
+// runs and platforms.
+//
+// The engine is single-goroutine by design: real HPC cluster middleware is
+// concurrent, but a scheduler study needs a causally ordered, replayable
+// timeline far more than it needs parallel execution. (The experiment
+// harness parallelizes at a coarser grain, running independent simulations
+// on separate engines.)
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"phishare/internal/units"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  units.Tick
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then by insertion order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine.
+// The zero value is ready to use, with the clock at 0.
+type Engine struct {
+	now    units.Tick
+	events eventHeap
+	seq    uint64
+	steps  uint64
+	// MaxSteps, if non-zero, bounds the number of events processed by Run;
+	// exceeding it panics. It is a guard against accidental event loops
+	// (e.g. a scheduler that reschedules itself at the current instant).
+	MaxSteps uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Tick { return e.now }
+
+// Steps reports how many events have been processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a component asking for time travel is always a bug in the caller.
+func (e *Engine) At(t units.Tick, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now. Negative d panics.
+func (e *Engine) After(d units.Tick, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run processes events until the queue is empty and returns the final clock
+// value. Events may schedule further events.
+func (e *Engine) Run() units.Tick {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t
+// (if it is not already past it) and returns. Events scheduled at exactly t
+// are processed.
+func (e *Engine) RunUntil(t units.Tick) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic("sim: event heap corrupted: time went backwards")
+	}
+	e.now = ev.at
+	e.steps++
+	if e.MaxSteps != 0 && e.steps > e.MaxSteps {
+		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (runaway event loop?)", e.MaxSteps, e.now))
+	}
+	ev.fn()
+}
+
+// Timer is a cancelable scheduled event. It is used by components that may
+// need to retract a pending action, e.g. COSMIC retracting the completion of
+// an offload whose job was killed by the memory container.
+type Timer struct {
+	stopped bool
+}
+
+// AtTimer schedules fn at absolute time t and returns a handle that can stop
+// it. A stopped timer's callback is silently skipped when its time arrives.
+func (e *Engine) AtTimer(t units.Tick, fn func()) *Timer {
+	tm := &Timer{}
+	e.At(t, func() {
+		if !tm.stopped {
+			fn()
+		}
+	})
+	return tm
+}
+
+// AfterTimer schedules fn after delay d and returns a cancelable handle.
+func (e *Engine) AfterTimer(d units.Tick, fn func()) *Timer {
+	return e.AtTimer(e.now+d, fn)
+}
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped timer
+// is a no-op.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Timer) Stopped() bool { return t.stopped }

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+
+	"phishare/internal/units"
+)
+
+func TestRunEmpty(t *testing.T) {
+	e := New()
+	if final := e.Run(); final != 0 {
+		t.Errorf("empty Run ended at %v, want 0", final)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	var seen []units.Tick
+	e.At(100, func() { seen = append(seen, e.Now()) })
+	e.At(250, func() { seen = append(seen, e.Now()) })
+	final := e.Run()
+	if final != 250 {
+		t.Errorf("final time %v, want 250", final)
+	}
+	if len(seen) != 2 || seen[0] != 100 || seen[1] != 250 {
+		t.Errorf("observed times %v, want [100 250]", seen)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var at units.Tick
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	final := e.Run()
+	if count != 5 {
+		t.Errorf("chained %d events, want 5", count)
+	}
+	if final != 50 {
+		t.Errorf("final time %v, want 50", final)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []units.Tick
+	for _, at := range []units.Tick{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want events at 10 and 20", fired)
+	}
+	if e.Now() != 25 {
+		t.Errorf("clock at %v after RunUntil(25)", e.Now())
+	}
+	e.RunUntil(40) // inclusive boundary
+	if len(fired) != 4 {
+		t.Errorf("RunUntil(40) left %d fired, want 4 (boundary inclusive)", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("idle RunUntil left clock at %v, want 500", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.AfterTimer(10, func() { fired = true })
+	tm.Stop()
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if !tm.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestTimerFiresWhenNotStopped(t *testing.T) {
+	e := New()
+	fired := false
+	e.AfterTimer(10, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("timer did not fire")
+	}
+}
+
+func TestTimerStopAfterFireIsNoop(t *testing.T) {
+	e := New()
+	count := 0
+	tm := e.AfterTimer(10, func() { count++ })
+	e.Run()
+	tm.Stop()
+	if count != 1 {
+		t.Errorf("timer fired %d times, want 1", count)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := New()
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip MaxSteps")
+		}
+	}()
+	e.Run()
+}
+
+func TestStepsCounting(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(units.Tick(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Errorf("Steps() = %d, want 7", e.Steps())
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() after Run = %d, want 0", e.Pending())
+	}
+}
+
+// TestDeterministicReplay runs an identical randomized workload twice and
+// requires identical event traces.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []units.Tick {
+		e := New()
+		var trace []units.Tick
+		// A little self-perpetuating workload with same-time collisions.
+		for i := 0; i < 20; i++ {
+			at := units.Tick((i * 7) % 13)
+			e.At(at, func() {
+				trace = append(trace, e.Now())
+				if e.Now() < 40 {
+					e.After(3, func() { trace = append(trace, e.Now()) })
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

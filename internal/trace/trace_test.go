@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"phishare/internal/units"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "J1", 240)
+	r.OffloadEnded(1000, "J1", true)
+	r.OffloadStarted(1500, "J2", 120)
+	r.OffloadEnded(2500, "J2", true)
+	ivs := r.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals %d", len(ivs))
+	}
+	if ivs[0].Job != "J1" || ivs[0].Duration() != 1000 {
+		t.Errorf("first interval %+v", ivs[0])
+	}
+	if r.End() != 2500 {
+		t.Errorf("End = %v", r.End())
+	}
+	if jobs := r.Jobs(); len(jobs) != 2 || jobs[0] != "J1" || jobs[1] != "J2" {
+		t.Errorf("Jobs = %v", jobs)
+	}
+}
+
+func TestInterleavedJobsTracked(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 120)
+	r.OffloadStarted(500, "B", 120)
+	r.OffloadEnded(1000, "A", true)
+	r.OffloadEnded(1500, "B", true)
+	ivs := r.Intervals()
+	if ivs[0].Job != "A" || ivs[1].Job != "B" {
+		t.Errorf("intervals %v", ivs)
+	}
+	if ivs[1].Start != 500 || ivs[1].End != 1500 {
+		t.Errorf("B interval %+v", ivs[1])
+	}
+}
+
+func TestAbortedIntervalMarked(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 60)
+	r.OffloadEnded(200, "A", false)
+	if r.Intervals()[0].Completed {
+		t.Error("aborted interval marked completed")
+	}
+}
+
+func TestOverlappingSameJobPanics(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 60)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on overlapping offloads")
+		}
+	}()
+	r.OffloadStarted(10, "A", 60)
+}
+
+func TestEndWithoutStartPanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on end without start")
+		}
+	}()
+	r.OffloadEnded(10, "A", true)
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 240)
+	r.OffloadEnded(1000, "A", true)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "job,start_ms,end_ms,threads,completed" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "A,0,1000,240,true" {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 240)
+	r.OffloadEnded(1000, "A", true)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Interval
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if len(out) != 1 || out[0].Job != "A" || out[0].Threads != 240 {
+		t.Errorf("round trip %+v", out)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "J1", 240)
+	r.OffloadEnded(500, "J1", true)
+	r.OffloadStarted(500, "J2", 120)
+	r.OffloadEnded(1000, "J2", true)
+	out := r.Render(40, 240)
+	if !strings.Contains(out, "J1") || !strings.Contains(out, "J2") {
+		t.Fatalf("render missing jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("full-width offload not marked with #")
+	}
+	if !strings.Contains(out, "=") {
+		t.Error("partial offload not marked with =")
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "J1") {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	r := NewRecorder()
+	if out := r.Render(40, 240); !strings.Contains(out, "no offload activity") {
+		t.Errorf("empty render: %q", out)
+	}
+}
+
+func TestBusyThreadIntegral(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "A", 240)
+	r.OffloadEnded(units.Tick(2*units.Second), "A", true)
+	r.OffloadStarted(0, "B", 60)
+	r.OffloadEnded(units.Tick(1*units.Second), "B", true)
+	want := 240*2.0 + 60*1.0
+	if got := r.BusyThreadIntegral(); got != want {
+		t.Errorf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestDurationOpenInterval(t *testing.T) {
+	iv := Interval{Start: 100, End: -1}
+	if iv.Duration() != 0 {
+		t.Errorf("open interval duration %v", iv.Duration())
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := NewRecorder()
+	// 240 threads for the first half, 120 for the second.
+	r.OffloadStarted(0, "A", 240)
+	r.OffloadEnded(1000, "A", true)
+	r.OffloadStarted(1000, "B", 120)
+	r.OffloadEnded(2000, "B", true)
+	tl := r.Timeline(4, 2000)
+	want := []float64{240, 240, 120, 120}
+	for i := range want {
+		if diff := tl[i] - want[i]; diff > 0.01 || diff < -0.01 {
+			t.Errorf("bucket %d = %v, want %v", i, tl[i], want[i])
+		}
+	}
+}
+
+func TestTimelinePartialOverlap(t *testing.T) {
+	r := NewRecorder()
+	// 100 threads over [0, 500) in a 1000-wide bucket: average 50.
+	r.OffloadStarted(0, "A", 100)
+	r.OffloadEnded(500, "A", true)
+	tl := r.Timeline(1, 1000)
+	if diff := tl[0] - 50; diff > 0.01 || diff < -0.01 {
+		t.Errorf("bucket = %v, want 50", tl[0])
+	}
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	r := NewRecorder()
+	if r.Timeline(0, 100) != nil || r.Timeline(4, 0) != nil {
+		t.Error("degenerate timeline not nil")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 120, 240}, 240)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[2] != '█' {
+		t.Errorf("sparkline extremes %q", s)
+	}
+	if Sparkline(nil, 240) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate sparkline not empty")
+	}
+}
+
+func TestSparklineClamps(t *testing.T) {
+	s := []rune(Sparkline([]float64{500, -5}, 240))
+	if s[0] != '█' || s[1] != ' ' {
+		t.Errorf("clamping wrong: %q", string(s))
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "J1", 240)
+	r.OffloadEnded(3000, "J1", true)
+	r.OffloadStarted(1000, "J2", 120)
+	r.OffloadEnded(2000, "J2", false) // aborted
+	var buf bytes.Buffer
+	if err := r.WriteSVG(&buf, 240); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "J1", "J2", "#d62728", "<title>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 3 { // background + 2 bars
+		t.Errorf("SVG rect count too low:\n%s", out)
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WriteSVG(&buf, 240); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no offload activity") {
+		t.Errorf("empty SVG: %q", buf.String())
+	}
+}
+
+func TestSVGEscapesJobNames(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, `evil<>&"job`, 60)
+	r.OffloadEnded(100, `evil<>&"job`, true)
+	var buf bytes.Buffer
+	if err := r.WriteSVG(&buf, 240); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "evil<>") {
+		t.Error("job name not escaped in SVG")
+	}
+}

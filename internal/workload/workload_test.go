@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"testing"
+
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/units"
+)
+
+func TestDistributionStrings(t *testing.T) {
+	want := []string{"uniform", "normal", "low-skew", "high-skew"}
+	for i, d := range Distributions() {
+		if d.String() != want[i] {
+			t.Errorf("dist %d = %q, want %q", i, d, want[i])
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, d := range Distributions() {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDistribution(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDistribution("bogus"); err == nil {
+		t.Error("ParseDistribution accepted bogus name")
+	}
+}
+
+func TestGenerateCountAndValidity(t *testing.T) {
+	for _, d := range Distributions() {
+		jobs := Generate(Config{Dist: d, N: 400, Seed: 42})
+		if len(jobs) != 400 {
+			t.Fatalf("%v: generated %d jobs", d, len(jobs))
+		}
+		if err := job.ValidateAll(jobs); err != nil {
+			t.Fatalf("%v: invalid job set: %v", d, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Dist: Normal, N: 100, Seed: 7})
+	b := Generate(Config{Dist: Normal, N: 100, Seed: 7})
+	for i := range a {
+		if a[i].Mem != b[i].Mem || a[i].Threads != b[i].Threads ||
+			a[i].SequentialTime() != b[i].SequentialTime() {
+			t.Fatalf("generation not deterministic at job %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Dist: Normal, N: 100, Seed: 1})
+	b := Generate(Config{Dist: Normal, N: 100, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].Mem == b[i].Mem {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical job sets")
+	}
+}
+
+func TestResourceBounds(t *testing.T) {
+	for _, d := range Distributions() {
+		jobs := Generate(Config{Dist: d, N: 1000, Seed: 3})
+		for _, j := range jobs {
+			if j.Mem < 256 || j.Mem > units.GB(2) {
+				t.Fatalf("%v: job %s memory %v out of bounds", d, j.Name, j.Mem)
+			}
+			if j.Threads < 24 || j.Threads > 240 {
+				t.Fatalf("%v: job %s threads %v out of bounds", d, j.Name, j.Threads)
+			}
+			if int(j.Threads)%4 != 0 {
+				t.Fatalf("%v: job %s threads %v not core-aligned", d, j.Name, j.Threads)
+			}
+			if j.Mem > units.GB(8) {
+				t.Fatalf("job %s does not fit a single device", j.Name)
+			}
+		}
+	}
+}
+
+func TestMemoryThreadCorrelation(t *testing.T) {
+	// The paper assumes low-memory jobs also have low thread counts: the
+	// two must be strongly positively correlated.
+	jobs := Generate(Config{Dist: Uniform, N: 2000, Seed: 4})
+	var mx, my float64
+	for _, j := range jobs {
+		mx += float64(j.Mem)
+		my += float64(j.Threads)
+	}
+	mx /= float64(len(jobs))
+	my /= float64(len(jobs))
+	var sxy, sxx, syy float64
+	for _, j := range jobs {
+		dx, dy := float64(j.Mem)-mx, float64(j.Threads)-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	r := sxy / (sqrt(sxx) * sqrt(syy))
+	if r < 0.95 {
+		t.Errorf("memory/thread correlation %.3f, want > 0.95", r)
+	}
+}
+
+func sqrt(x float64) float64 {
+	// Newton's method avoids importing math for a single call in tests.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 64; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestSkewDirections(t *testing.T) {
+	// Fig. 7's defining property: mean resource level ordering
+	// low-skew < normal < high-skew, with uniform near 0.5.
+	cfg := Config{N: 4000, Seed: 5}
+	mean := func(d Distribution) float64 {
+		c := cfg
+		c.Dist = d
+		jobs := Generate(c)
+		h := BuildHistogram(d, jobs, c, 20)
+		return h.MeanLevel()
+	}
+	u, n, lo, hi := mean(Uniform), mean(Normal), mean(LowSkew), mean(HighSkew)
+	if !(lo < n && n < hi) {
+		t.Errorf("skew ordering violated: low=%.3f normal=%.3f high=%.3f", lo, n, hi)
+	}
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("uniform mean level %.3f, want ~0.5", u)
+	}
+	if hi-lo < 0.15 {
+		t.Errorf("skew separation %.3f too small (low=%.3f high=%.3f)", hi-lo, lo, hi)
+	}
+}
+
+func TestNormalConcentratesMidRange(t *testing.T) {
+	cfg := Config{Dist: Normal, N: 4000, Seed: 6}
+	jobs := Generate(cfg)
+	h := BuildHistogram(Normal, jobs, cfg, 10)
+	midMass := 0
+	for i := 3; i < 7; i++ {
+		midMass += h.Bins[i]
+	}
+	if frac := float64(midMass) / float64(h.Total); frac < 0.6 {
+		t.Errorf("normal distribution mid-range mass %.2f, want > 0.6", frac)
+	}
+}
+
+func TestUniformIsFlat(t *testing.T) {
+	cfg := Config{Dist: Uniform, N: 10000, Seed: 7}
+	jobs := Generate(cfg)
+	h := BuildHistogram(Uniform, jobs, cfg, 10)
+	for i, c := range h.Bins {
+		frac := float64(c) / float64(h.Total)
+		if frac < 0.05 || frac > 0.15 {
+			t.Errorf("uniform bin %d frequency %.3f far from 0.1", i, frac)
+		}
+	}
+}
+
+func TestHistogramTotal(t *testing.T) {
+	cfg := Config{Dist: Uniform, N: 123, Seed: 8}
+	jobs := Generate(cfg)
+	h := BuildHistogram(Uniform, jobs, cfg, 5)
+	if h.Total != 123 {
+		t.Errorf("histogram total %d, want 123", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Bins {
+		sum += c
+	}
+	if sum != 123 {
+		t.Errorf("bin sum %d, want 123", sum)
+	}
+}
+
+func TestHistogramEmptyJobs(t *testing.T) {
+	h := BuildHistogram(Uniform, nil, Config{}, 5)
+	if h.MeanLevel() != 0 {
+		t.Errorf("empty histogram mean = %v", h.MeanLevel())
+	}
+}
+
+func TestLevelBounds(t *testing.T) {
+	r := rng.New(9)
+	for _, d := range Distributions() {
+		for i := 0; i < 2000; i++ {
+			x := d.Level(r)
+			if x < 0 || x > 1 {
+				t.Fatalf("%v level %v out of [0,1]", d, x)
+			}
+		}
+	}
+}
