@@ -1,0 +1,35 @@
+# Developer and CI entry points. `make ci` is the gate every PR must pass;
+# `make bench` maintains the benchmark-regression ledger (BENCH_<n>.json).
+
+GO ?= go
+
+# The PR-numbered benchmark ledger this change-set writes into, and the
+# label its numbers land under. A perf PR records its baseline first:
+#   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
+#   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
+BENCH_OUT   ?= BENCH_1.json
+BENCH_LABEL ?= after
+
+# The regression suite: the hot-path micro-benchmarks plus the two macro
+# benchmarks that exercise the whole stack.
+BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan)$$
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -count 1 . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)
+
+ci: vet build race

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON ledger, so benchmark runs can be diffed across PRs
+// (the BENCH_<n>.json regression trail; see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -o BENCH_1.json -label after
+//
+// The output file holds one entry per label; re-running with the same -o and
+// a different -label merges into the existing file, which is how a single
+// BENCH_1.json carries both the "before" and "after" sides of an
+// optimization PR. Non-benchmark lines (goos/goarch/cpu headers, PASS/ok
+// trailers) are captured into the run's environment block or skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// run is one labelled benchmark sweep.
+type run struct {
+	// Env echoes the goos/goarch/pkg/cpu header of the sweep.
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics: ns/op, B/op, allocs/op, and any b.ReportMetric customs.
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out   = flag.String("o", "", "JSON file to write (merged with existing content); empty writes to stdout")
+		label = flag.String("label", "run", "label for this sweep inside the JSON file (e.g. before, after)")
+	)
+	flag.Parse()
+
+	r := run{Env: map[string]string{}, Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, err := parseBenchLine(line)
+			if err != nil {
+				log.Fatalf("parse %q: %v", line, err)
+			}
+			r.Benchmarks[name] = res
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			r.Env[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("read stdin: %v", err)
+	}
+	if len(r.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin (did the -bench regex match anything?)")
+	}
+
+	// Merge into any existing ledger so one file accumulates labels.
+	ledger := map[string]run{}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &ledger); err != nil {
+				log.Fatalf("existing %s is not a benchjson ledger: %v", *out, err)
+			}
+		}
+	}
+	ledger[*label] = r
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks under label %q to %s", len(r.Benchmarks), *label, *out)
+}
+
+// parseBenchLine splits one result line:
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   3.14 custom-metric
+//
+// into the name (CPU suffix stripped) and its (value, unit) metric pairs.
+func parseBenchLine(line string) (string, benchResult, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", benchResult{}, fmt.Errorf("want 'name iters {value unit}...', got %d fields", len(fields))
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", benchResult{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := benchResult{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", benchResult{}, fmt.Errorf("metric %s: %w", fields[i+1], err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return name, res, nil
+}

@@ -12,6 +12,11 @@ import (
 // submitted jobs and their resource requests.
 type Ad struct {
 	attrs map[string]attr // key: lowercase name
+	// version counts mutations (Set/SetExpr/Delete). Matchmaking results
+	// depend only on the two ads' contents, so a (version, version) pair
+	// identifies a match result exactly; the negotiator's match cache keys
+	// on it to skip re-evaluating unchanged pairs (see condor.Pool).
+	version uint64
 }
 
 type attr struct {
@@ -51,11 +56,22 @@ func (a *Ad) setExpr(name string, e Expr) {
 	if a.attrs == nil {
 		a.attrs = map[string]attr{}
 	}
+	a.version++
 	a.attrs[strings.ToLower(name)] = attr{name: name, expr: e}
 }
 
 // Delete removes an attribute binding if present.
-func (a *Ad) Delete(name string) { delete(a.attrs, strings.ToLower(name)) }
+func (a *Ad) Delete(name string) {
+	if _, ok := a.attrs[strings.ToLower(name)]; ok {
+		a.version++
+		delete(a.attrs, strings.ToLower(name))
+	}
+}
+
+// Version reports the ad's mutation counter. Two calls returning the same
+// value guarantee the ad's contents did not change in between, so any value
+// derived purely from the contents (e.g. a Match result) is still valid.
+func (a *Ad) Version() uint64 { return a.version }
 
 // Has reports whether the ad binds name.
 func (a *Ad) Has(name string) bool {
@@ -91,12 +107,15 @@ func (a *Ad) EvalWithTarget(name string, target *Ad) Value {
 }
 
 // Clone returns a deep-enough copy: expressions are immutable once parsed,
-// so sharing them between the copies is safe.
+// so sharing them between the copies is safe. The clone starts at the
+// original's version; the two counters advance independently afterwards
+// (versions only promise "unchanged since I last looked at this ad").
 func (a *Ad) Clone() *Ad {
 	c := NewAd()
 	for k, v := range a.attrs {
 		c.attrs[k] = v
 	}
+	c.version = a.version
 	return c
 }
 

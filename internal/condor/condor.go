@@ -214,6 +214,13 @@ type Config struct {
 	// servers have two 8-core host Xeons; an offload job keeps roughly a
 	// socket busy, so the default is 4 slots per device. Default 4.
 	HostSlots int
+	// DisableMatchCache forces every matchmaking pair through the full
+	// classad.Match expression evaluation instead of the ad-version match
+	// cache. The cached and uncached negotiators are semantically identical
+	// (the cache keys on both ads' mutation counters, so a stale entry is
+	// impossible); the flag exists so the determinism regression can prove
+	// that by running the full stack both ways.
+	DisableMatchCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -257,12 +264,24 @@ type Pool struct {
 	pending  []*QueuedJob
 	inFlight int // dispatched but not yet terminal
 
-	negGen        uint64
-	negScheduled  bool
-	nextNegAt     units.Tick
-	emptyCycles   int
-	makespan      units.Tick
-	stats         Stats
+	negGen       uint64
+	negScheduled bool
+	nextNegAt    units.Tick
+	emptyCycles  int
+	makespan     units.Tick
+	stats        Stats
+
+	// matchCache memoizes classad.Match per (machine, job) pair, keyed by
+	// both ads' mutation counters. The negotiator's O(pending × machines)
+	// scan re-evaluates only pairs whose ads changed since the last cycle:
+	// a machine ad changes on claim/release (updateAd), a job ad on qedit
+	// or resubmission, so a long idle backlog against a stable machine
+	// costs two map probes per cycle instead of two expression-tree walks.
+	// Entries are evicted when a job reaches a terminal state.
+	matchCache map[matchKey]matchVal
+	// candScratch is the candidates slice reused across every pending job
+	// of every cycle (it was re-grown from nil per job before).
+	candScratch []*Machine
 
 	// usage accumulates per-user device time (claim duration) for
 	// fair-share ordering.
@@ -276,10 +295,49 @@ type Pool struct {
 	Log *EventLog
 }
 
+// matchKey identifies one matchmaking pair for the match cache.
+type matchKey struct {
+	m *Machine
+	q *QueuedJob
+}
+
+// matchVal is a memoized Match result, valid while both ads' versions hold.
+type matchVal struct {
+	mv, jv uint64
+	ok     bool
+}
+
+// match is the cached equivalent of classad.Match(m.Ad, q.Ad).
+func (p *Pool) match(m *Machine, q *QueuedJob) bool {
+	if p.cfg.DisableMatchCache {
+		return classad.Match(m.Ad, q.Ad)
+	}
+	k := matchKey{m, q}
+	mv, jv := m.Ad.Version(), q.Ad.Version()
+	if v, hit := p.matchCache[k]; hit && v.mv == mv && v.jv == jv {
+		return v.ok
+	}
+	ok := classad.Match(m.Ad, q.Ad)
+	p.matchCache[k] = matchVal{mv: mv, jv: jv, ok: ok}
+	return ok
+}
+
+// forgetJob evicts a terminal job's match-cache entries; the pair can never
+// be consulted again, so the entries would only leak.
+func (p *Pool) forgetJob(q *QueuedJob) {
+	if p.cfg.DisableMatchCache {
+		return
+	}
+	for _, m := range p.machines {
+		delete(p.matchCache, matchKey{m, q})
+	}
+}
+
 // NewPool builds a pool over the cluster with the given policy.
 func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *Pool {
 	p := &Pool{eng: eng, clu: clu, cfg: cfg.withDefaults(), policy: policy,
-		usage: map[string]units.Tick{}}
+		usage:      map[string]units.Tick{},
+		matchCache: map[matchKey]matchVal{}}
 	for _, unit := range clu.Units {
 		m := &Machine{
 			Name:      unit.SlotName,
@@ -406,16 +464,19 @@ func (p *Pool) negotiate() {
 	}
 
 	matched := 0
-	var still []*QueuedJob
+	still := p.pending[:0] // in-place filter: write index trails read index
+	if cap(p.candScratch) < len(p.machines) {
+		p.candScratch = make([]*Machine, 0, len(p.machines))
+	}
 	for _, q := range p.pending {
-		var candidates []*Machine
+		candidates := p.candScratch[:0]
 		for _, m := range p.machines {
 			// A machine with no free host slot cannot accept any job,
 			// whatever the ads say: the starter has nowhere to run.
 			if m.AtCapacity() {
 				continue
 			}
-			if classad.Match(m.Ad, q.Ad) {
+			if p.match(m, q) {
 				candidates = append(candidates, m)
 			}
 		}
@@ -429,6 +490,9 @@ func (p *Pool) negotiate() {
 		}
 		p.claim(q, candidates[idx])
 		matched++
+	}
+	for i := len(still); i < len(p.pending); i++ {
+		p.pending[i] = nil // drop matched-job references past the new length
 	}
 	p.pending = still
 	p.stats.Matches += matched
@@ -449,6 +513,7 @@ func (p *Pool) negotiate() {
 			p.noteEnd(q.EndTime)
 			p.stats.Stalled++
 			p.record(EventStallAbort, q, "")
+			p.forgetJob(q)
 			if p.OnTerminal != nil {
 				p.OnTerminal(q)
 			}
@@ -521,6 +586,7 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 	}
 	q.EndTime = p.eng.Now()
 	p.noteEnd(q.EndTime)
+	p.forgetJob(q)
 	if p.OnTerminal != nil {
 		p.OnTerminal(q)
 	}
@@ -539,7 +605,7 @@ func (p *Pool) reuseClaim(m *Machine) {
 		return
 	}
 	for i, q := range p.pending {
-		if classad.Match(m.Ad, q.Ad) {
+		if p.match(m, q) {
 			p.pending = append(p.pending[:i], p.pending[i+1:]...)
 			p.stats.ClaimReuses++
 			p.claim(q, m)

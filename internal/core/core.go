@@ -91,6 +91,12 @@ type Config struct {
 	// phi.Config.SpinContention) erodes the concurrency gain. Default 2.0:
 	// a device accepts up to two full-width jobs' worth of surplus threads.
 	FillThreadOvercommit float64
+	// ReferenceSolver routes every knapsack through the unoptimized
+	// reference DP (knapsack.SolveReference) instead of the scheduler's
+	// reusable Solver. It exists purely for determinism validation: the two
+	// paths must produce bit-identical plans, which the regression test in
+	// internal/experiments asserts by running the full stack both ways.
+	ReferenceSolver bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +140,11 @@ func (c Config) withDefaults() Config {
 //     the high-resource-skew distribution, where every set has value zero.
 type Scheduler struct {
 	cfg Config
+	// solver carries the knapsack DP buffers across every packDevice call
+	// of every planning round: the greedy per-device loop of Fig. 4 solves
+	// up to two knapsacks per device per negotiation cycle, and reusing one
+	// solver makes that inner loop allocation-free.
+	solver *knapsack.Solver
 	// lastPlanned counts the jobs pinned by the most recent planning round
 	// (instrumentation).
 	lastPlanned int
@@ -141,7 +152,16 @@ type Scheduler struct {
 
 // New returns an MCCK scheduler.
 func New(cfg Config) *Scheduler {
-	return &Scheduler{cfg: cfg.withDefaults()}
+	return &Scheduler{cfg: cfg.withDefaults(), solver: knapsack.NewSolver()}
+}
+
+// solve dispatches one knapsack instance to the reusable solver, or to the
+// reference DP when the determinism harness asks for it.
+func (s *Scheduler) solve(cfg knapsack.Config, items []knapsack.Item) knapsack.Result {
+	if s.cfg.ReferenceSolver {
+		return knapsack.SolveReference(cfg, items)
+	}
+	return s.solver.Solve(cfg, items)
 }
 
 // Name implements condor.Policy.
@@ -276,7 +296,7 @@ func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob
 		if !s.cfg.DisableThreadDim {
 			cfg.ThreadCapacity = threadBudget
 		}
-		res := knapsack.Solve(cfg, items)
+		res := s.solve(cfg, items)
 		for _, idx := range res.Selected {
 			chosen[idx] = true
 			picked = append(picked, candidates[idx])
@@ -308,7 +328,7 @@ func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob
 			}
 		}
 		if len(restItems) > 0 && fillThreads > 0 {
-			res := knapsack.Solve(knapsack.Config{
+			res := s.solve(knapsack.Config{
 				MemCapacity:       memBudget,
 				MemGranularity:    s.cfg.MemGranularity,
 				ThreadCapacity:    fillThreads,

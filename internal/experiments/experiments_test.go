@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
+	"phishare/internal/condor"
+	"phishare/internal/core"
 	"phishare/internal/job"
+	"phishare/internal/metrics"
 	"phishare/internal/rng"
 	"phishare/internal/units"
 	"phishare/internal/workload"
@@ -532,6 +536,55 @@ func TestParallelSweepsDeterministic(t *testing.T) {
 	direct := Run(RunConfig{Policy: PolicyMCCK, Nodes: a.Series[0].Sizes[0], Jobs: jobs, Seed: o.Seed}).Makespan
 	if direct != a.Series[0].MCCK[0] {
 		t.Errorf("parallel cell %v != sequential run %v", a.Series[0].MCCK[0], direct)
+	}
+}
+
+// TestOptimizedPathsPreserveOutcomes is the regression gate for the hot-path
+// optimizations (reusable knapsack solver, negotiator match cache, pooled sim
+// events): the full MCCK stack must produce bit-for-bit identical per-job
+// record streams whether it runs through the optimized paths or the
+// unoptimized reference paths, and repeated optimized runs must agree with
+// each other. Any divergence means an optimization changed a scheduling
+// decision, which is never acceptable here.
+func TestOptimizedPathsPreserveOutcomes(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		jobs := job.GenerateTableOneSet(90, rng.New(seed))
+		run := func(refSolver, noCache bool) (Result, []metrics.JobRecord) {
+			var recs []metrics.JobRecord
+			res := Run(RunConfig{
+				Policy:     PolicyMCCK,
+				Nodes:      3,
+				Jobs:       jobs,
+				Seed:       seed,
+				Core:       core.Config{ReferenceSolver: refSolver},
+				Condor:     condor.Config{DisableMatchCache: noCache},
+				RecordSink: &recs,
+			})
+			return res, recs
+		}
+		opt1, recs1 := run(false, false)
+		opt2, recs2 := run(false, false)
+		ref, recsRef := run(true, true)
+
+		if opt1.Makespan != opt2.Makespan || !reflect.DeepEqual(recs1, recs2) {
+			t.Fatalf("seed %d: repeated optimized runs diverge (%v vs %v)",
+				seed, opt1.Makespan, opt2.Makespan)
+		}
+		if opt1.Makespan != ref.Makespan {
+			t.Errorf("seed %d: optimized makespan %v != reference %v",
+				seed, opt1.Makespan, ref.Makespan)
+		}
+		if !reflect.DeepEqual(recs1, recsRef) {
+			for i := range recs1 {
+				if i < len(recsRef) && recs1[i] != recsRef[i] {
+					t.Errorf("seed %d: record %d differs:\noptimized: %+v\nreference: %+v",
+						seed, i, recs1[i], recsRef[i])
+					break
+				}
+			}
+			t.Fatalf("seed %d: optimized record stream (%d records) != reference (%d records)",
+				seed, len(recs1), len(recsRef))
+		}
 	}
 }
 

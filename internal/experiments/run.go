@@ -63,6 +63,10 @@ type RunConfig struct {
 	// names are unique within a run, so one recorder can serve the whole
 	// cluster for CSV/JSON export).
 	Trace phi.TraceSink
+	// RecordSink, if non-nil, receives the full per-job record stream of
+	// the run (pool.Records()). Determinism harnesses use it to compare
+	// entire outcome streams, not just aggregate metrics.
+	RecordSink *[]metrics.JobRecord
 }
 
 // usesCosmic resolves the node middleware choice.
@@ -139,6 +143,9 @@ func Run(cfg RunConfig) Result {
 	}
 
 	makespan := pool.Makespan()
+	if cfg.RecordSink != nil {
+		*cfg.RecordSink = pool.Records()
+	}
 	summary := metrics.Summarize(pool.Records(), clu.Utils(), makespan)
 	summary.MaxConcurrency = pool.MaxConcurrency()
 	return Result{

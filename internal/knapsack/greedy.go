@@ -44,11 +44,16 @@ func SolveGreedy(cfg Config, items []Item) Result {
 	})
 
 	// Track remaining capacity at the DP's granularity so greedy and DP
-	// solve the identical rounded instance.
+	// solve the identical rounded instance — including the DP's conservative
+	// rule that a capacity which rounds down to zero units admits nothing
+	// (even zero-weight items).
 	memLeft := int(cfg.MemCapacity / cfg.MemGranularity)
 	threadsLeft := -1
 	if cfg.ThreadCapacity > 0 {
 		threadsLeft = int(cfg.ThreadCapacity / cfg.ThreadGranularity)
+	}
+	if memLeft == 0 || threadsLeft == 0 {
+		return Result{}
 	}
 
 	var res Result

@@ -81,7 +81,11 @@ func TestGreedyNeverBeatsDP(t *testing.T) {
 		d := Solve(cfg, items)
 		return d.Value >= g.Value
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	// Seeded so a failure reproduces: the default quick source is
+	// time-seeded, which once let a rounding mismatch (thread capacity
+	// rounding to zero units) flake in and out of CI.
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
 }

@@ -7,7 +7,7 @@
 // thread request (Eq. 1: v = 1 - (t/240)^2) so that maximizing knapsack value
 // packs many low-thread jobs together, maximizing concurrency.
 //
-// Two solvers are provided:
+// Two dynamic programs are provided, selected by Config:
 //
 //   - a classic 1-D dynamic program over memory, as described in the paper's
 //     complexity analysis (O(n·w) with w = capacity/granularity, e.g.
@@ -18,6 +18,14 @@
 //     DP state is the standard equivalent formulation and avoids enumerating
 //     sets at all.
 //
+// The production entry point is Solver, which reuses its DP buffers across
+// calls so that a scheduler solving thousands of knapsacks per run does not
+// allocate per solve; the package-level Solve draws Solvers from a pool for
+// one-off callers. SolveReference is the original per-call-allocating
+// implementation, kept verbatim as the correctness oracle: Solver must
+// produce bit-for-bit identical results (see TestSolverMatchesReference),
+// because any divergence would change simulated scheduling outcomes.
+//
 // Values are non-negative scaled integers. Callers that want the paper's
 // "as many jobs as possible" tie-break add a small per-item bonus via
 // CountBonus so that among equal-value sets the larger one wins.
@@ -25,6 +33,7 @@ package knapsack
 
 import (
 	"fmt"
+	"sync"
 
 	"phishare/internal/units"
 )
@@ -111,16 +120,11 @@ func CountBonusScale(maxItems int) int64 {
 // ceilDiv returns ceil(a/b) for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// Solve solves the knapsack instance and returns the best item set.
-//
-// The objective is maximum total Value subject to the memory capacity and
-// (when ThreadCapacity > 0) the thread capacity. Items whose individual
-// weight exceeds a capacity are never selected. Items with negative Value
-// or non-positive Mem are rejected with a panic: a zero-memory job would let
-// the DP pack infinitely many copies of nothing, which is always a caller
-// bug in this system (every real offload job reserves device memory).
-func Solve(cfg Config, items []Item) Result {
-	cfg = cfg.withDefaults()
+// validate rejects malformed items. Items with negative Value or
+// non-positive Mem panic: a zero-memory job would let the DP pack infinitely
+// many copies of nothing, which is always a caller bug in this system (every
+// real offload job reserves device memory).
+func validate(items []Item) {
 	for i, it := range items {
 		if it.Value < 0 {
 			panic(fmt.Sprintf("knapsack: item %d has negative value %d", i, it.Value))
@@ -129,57 +133,152 @@ func Solve(cfg Config, items []Item) Result {
 			panic(fmt.Sprintf("knapsack: item %d has non-positive memory %v", i, it.Mem))
 		}
 	}
+}
+
+// solverPool recycles Solvers for the convenience Solve entry point, so that
+// one-shot callers still amortize the DP buffers across calls.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// Solve solves the knapsack instance and returns the best item set.
+//
+// The objective is maximum total Value subject to the memory capacity and
+// (when ThreadCapacity > 0) the thread capacity. Items whose individual
+// weight exceeds a capacity are never selected.
+//
+// Solve is a thin wrapper over a pooled Solver; hot loops that solve many
+// instances back to back (the scheduler's greedy per-device loop) should
+// hold their own Solver instead.
+func Solve(cfg Config, items []Item) Result {
+	s := solverPool.Get().(*Solver)
+	res := s.Solve(cfg, items)
+	solverPool.Put(s)
+	return res
+}
+
+// Solver owns grow-only DP buffers that are reused across calls, so a
+// planning round of many knapsacks allocates only its Result slices. A
+// Solver is not safe for concurrent use; each simulation (goroutine) holds
+// its own.
+//
+// The Solver is bit-for-bit equivalent to SolveReference: same Value, same
+// Selected indices, same tie-breaks. The optimizations are therefore limited
+// to representation and provably outcome-preserving pruning:
+//
+//   - the take matrix is a bitset (one bit per DP state per item) instead of
+//     one bool slice per item;
+//   - budgets are capped at the total weight of individually feasible items
+//     (DP states beyond that sum are constant, so they are never
+//     materialized; reconstruction starts at the capped corner);
+//   - if every feasible item fits together, the DP is skipped outright and
+//     the positive-value items are selected directly (the common tail-of-run
+//     case: a near-empty queue against a near-empty device);
+//   - zero-value items are skipped in the DP sweep (a strict `>` improvement
+//     test can never take them; the reference leaves their rows false too).
+type Solver struct {
+	dp       []int64
+	take     []uint64
+	weights  []int
+	tweights []int
+}
+
+// NewSolver returns an empty Solver; buffers grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve solves one instance, reusing the Solver's buffers.
+func (s *Solver) Solve(cfg Config, items []Item) Result {
+	cfg = cfg.withDefaults()
+	validate(items)
 	if cfg.MemCapacity <= 0 || len(items) == 0 {
 		return Result{}
 	}
 	if cfg.ThreadCapacity > 0 {
-		return solve2D(cfg, items)
+		return s.solve2D(cfg, items)
 	}
-	return solve1D(cfg, items)
+	return s.solve1D(cfg, items)
 }
 
-// solve1D is the paper's O(n·w) dynamic program over memory units.
-func solve1D(cfg Config, items []Item) Result {
+// growInt64 returns a zeroed slice of length n backed by buf when possible.
+func growInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+func growUint64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growInts returns an *uninitialized* slice of length n (callers overwrite
+// every element).
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// solve1D is the paper's O(n·w) dynamic program over memory units, on
+// reused buffers with a bitset take matrix.
+func (s *Solver) solve1D(cfg Config, items []Item) Result {
 	W := int(cfg.MemCapacity / cfg.MemGranularity) // capacity rounded down: conservative
 	if W == 0 {
 		return Result{}
 	}
-	weights := make([]int, len(items))
+	n := len(items)
+	s.weights = growInts(s.weights, n)
+	sumW := 0
 	for i, it := range items {
-		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
-	}
-
-	// dp[m] = best value using a prefix of items with memory budget m.
-	// take[i] is the DP row of "item i taken at budget m" decisions.
-	dp := make([]int64, W+1)
-	take := make([][]bool, len(items))
-	for i, it := range items {
-		w := weights[i]
-		row := make([]bool, W+1)
-		take[i] = row
+		w := ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+		s.weights[i] = w
 		if w > W {
 			continue
 		}
-		for m := W; m >= w; m-- {
+		sumW += w
+	}
+	if sumW <= W {
+		// Every feasible item fits together: no packing decision to make.
+		return takeAllFeasible(items, s.weights, nil, W, 0)
+	}
+	// States beyond the total feasible weight are constant; never
+	// materialize them (sumW > W here, so this is a no-op for 1-D, kept for
+	// symmetry with solve2D).
+	Wc := W
+
+	states := Wc + 1
+	stride := (states + 63) >> 6
+	s.dp = growInt64(s.dp, states)
+	s.take = growUint64(s.take, n*stride)
+	dp, take := s.dp, s.take
+	for i, it := range items {
+		w := s.weights[i]
+		if w > Wc || it.Value == 0 {
+			continue
+		}
+		base := i * stride
+		for m := Wc; m >= w; m-- {
 			if cand := dp[m-w] + it.Value; cand > dp[m] {
 				dp[m] = cand
-				row[m] = true
+				take[base+(m>>6)] |= 1 << (uint(m) & 63)
 			}
 		}
 	}
 
-	return reconstruct1D(items, weights, take, W, dp[W])
-}
-
-func reconstruct1D(items []Item, weights []int, take [][]bool, W int, best int64) Result {
-	res := Result{Value: best}
-	m := W
-	for i := len(items) - 1; i >= 0; i-- {
-		if take[i][m] {
+	res := Result{Value: dp[Wc]}
+	m := Wc
+	for i := n - 1; i >= 0; i-- {
+		if take[i*stride+(m>>6)]&(1<<(uint(m)&63)) != 0 {
 			res.Selected = append(res.Selected, i)
 			res.Mem += items[i].Mem
 			res.Threads += items[i].Threads
-			m -= weights[i]
+			m -= s.weights[i]
 		}
 	}
 	reverse(res.Selected)
@@ -188,57 +287,106 @@ func reconstruct1D(items []Item, weights []int, take [][]bool, W int, best int64
 
 // solve2D bounds both memory and total threads:
 // dp[m][t] = best value with memory budget m and thread budget t.
-func solve2D(cfg Config, items []Item) Result {
+func (s *Solver) solve2D(cfg Config, items []Item) Result {
 	W := int(cfg.MemCapacity / cfg.MemGranularity)
 	T := int(cfg.ThreadCapacity / cfg.ThreadGranularity) // rounded down: conservative
 	if W == 0 || T == 0 {
 		return Result{}
 	}
-	weights := make([]int, len(items))
-	tweights := make([]int, len(items))
+	n := len(items)
+	s.weights = growInts(s.weights, n)
+	s.tweights = growInts(s.tweights, n)
+	sumW, sumT := 0, 0
 	for i, it := range items {
-		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+		w := ceilDiv(int(it.Mem), int(cfg.MemGranularity))
 		th := int(it.Threads)
 		if th < 0 {
 			th = 0
 		}
-		tweights[i] = ceilDiv(th, int(cfg.ThreadGranularity))
-	}
-
-	cols := T + 1
-	dp := make([]int64, (W+1)*cols) // dp[m*cols+t]
-	take := make([][]bool, len(items))
-	for i, it := range items {
-		w, tw := weights[i], tweights[i]
-		row := make([]bool, (W+1)*cols)
-		take[i] = row
+		tw := ceilDiv(th, int(cfg.ThreadGranularity))
+		s.weights[i] = w
+		s.tweights[i] = tw
 		if w > W || tw > T {
 			continue
 		}
-		for m := W; m >= w; m-- {
+		sumW += w
+		sumT += tw
+	}
+	if sumW <= W && sumT <= T {
+		return takeAllFeasible(items, s.weights, s.tweights, W, T)
+	}
+	// DP states beyond the total feasible weight are constant; cap the
+	// budget axes there and reconstruct from the capped corner.
+	Wc, Tc := W, T
+	if sumW < Wc {
+		Wc = sumW
+	}
+	if sumT < Tc {
+		Tc = sumT
+	}
+
+	cols := Tc + 1
+	states := (Wc + 1) * cols
+	stride := (states + 63) >> 6
+	s.dp = growInt64(s.dp, states)
+	s.take = growUint64(s.take, n*stride)
+	dp, take := s.dp, s.take
+	for i, it := range items {
+		w, tw := s.weights[i], s.tweights[i]
+		if w > Wc || tw > Tc || it.Value == 0 {
+			continue
+		}
+		rowBase := i * stride
+		v := it.Value
+		for m := Wc; m >= w; m-- {
 			base := m * cols
-			prev := (m - w) * cols
-			for t := T; t >= tw; t-- {
-				if cand := dp[prev+t-tw] + it.Value; cand > dp[base+t] {
+			prev := (m-w)*cols - tw
+			for t := Tc; t >= tw; t-- {
+				if cand := dp[prev+t] + v; cand > dp[base+t] {
 					dp[base+t] = cand
-					row[base+t] = true
+					st := base + t
+					take[rowBase+(st>>6)] |= 1 << (uint(st) & 63)
 				}
 			}
 		}
 	}
 
-	res := Result{Value: dp[W*cols+T]}
-	m, t := W, T
-	for i := len(items) - 1; i >= 0; i-- {
-		if take[i][m*cols+t] {
+	res := Result{Value: dp[Wc*cols+Tc]}
+	m, t := Wc, Tc
+	for i := n - 1; i >= 0; i-- {
+		st := m*cols + t
+		if take[i*stride+(st>>6)]&(1<<(uint(st)&63)) != 0 {
 			res.Selected = append(res.Selected, i)
 			res.Mem += items[i].Mem
 			res.Threads += items[i].Threads
-			m -= weights[i]
-			t -= tweights[i]
+			m -= s.weights[i]
+			t -= s.tweights[i]
 		}
 	}
 	reverse(res.Selected)
+	return res
+}
+
+// takeAllFeasible implements the all-fits fast path: select every
+// individually feasible item with positive value, in index order.
+// tweights may be nil for the 1-D solver (no thread dimension).
+func takeAllFeasible(items []Item, weights, tweights []int, W, T int) Result {
+	var res Result
+	for i, it := range items {
+		if weights[i] > W {
+			continue
+		}
+		if tweights != nil && tweights[i] > T {
+			continue
+		}
+		if it.Value <= 0 {
+			continue
+		}
+		res.Selected = append(res.Selected, i)
+		res.Value += it.Value
+		res.Mem += it.Mem
+		res.Threads += it.Threads
+	}
 	return res
 }
 

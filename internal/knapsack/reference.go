@@ -1,0 +1,124 @@
+package knapsack
+
+// This file preserves the original, allocation-per-call dynamic programs as
+// the reference semantics for the optimized Solver. The Solver must agree
+// with these bit-for-bit — same Value, same Selected set, same tie-breaks —
+// on every instance; the differential tests in solver_test.go and the
+// determinism regression in internal/experiments enforce it. Keep this code
+// boring and obviously correct; optimize only in solver paths.
+
+// SolveReference solves the instance with the unoptimized reference DP.
+// It is exported so higher layers (core.Config.ReferenceSolver) can run the
+// whole scheduler stack through the pre-optimization path when validating
+// that the optimized Solver changes no simulated outcome.
+func SolveReference(cfg Config, items []Item) Result {
+	cfg = cfg.withDefaults()
+	validate(items)
+	if cfg.MemCapacity <= 0 || len(items) == 0 {
+		return Result{}
+	}
+	if cfg.ThreadCapacity > 0 {
+		return referenceSolve2D(cfg, items)
+	}
+	return referenceSolve1D(cfg, items)
+}
+
+// referenceSolve1D is the paper's O(n·w) dynamic program over memory units.
+func referenceSolve1D(cfg Config, items []Item) Result {
+	W := int(cfg.MemCapacity / cfg.MemGranularity) // capacity rounded down: conservative
+	if W == 0 {
+		return Result{}
+	}
+	weights := make([]int, len(items))
+	for i, it := range items {
+		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+	}
+
+	// dp[m] = best value using a prefix of items with memory budget m.
+	// take[i] is the DP row of "item i taken at budget m" decisions.
+	dp := make([]int64, W+1)
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		w := weights[i]
+		row := make([]bool, W+1)
+		take[i] = row
+		if w > W {
+			continue
+		}
+		for m := W; m >= w; m-- {
+			if cand := dp[m-w] + it.Value; cand > dp[m] {
+				dp[m] = cand
+				row[m] = true
+			}
+		}
+	}
+
+	res := Result{Value: dp[W]}
+	m := W
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][m] {
+			res.Selected = append(res.Selected, i)
+			res.Mem += items[i].Mem
+			res.Threads += items[i].Threads
+			m -= weights[i]
+		}
+	}
+	reverse(res.Selected)
+	return res
+}
+
+// referenceSolve2D bounds both memory and total threads:
+// dp[m][t] = best value with memory budget m and thread budget t.
+func referenceSolve2D(cfg Config, items []Item) Result {
+	W := int(cfg.MemCapacity / cfg.MemGranularity)
+	T := int(cfg.ThreadCapacity / cfg.ThreadGranularity) // rounded down: conservative
+	if W == 0 || T == 0 {
+		return Result{}
+	}
+	weights := make([]int, len(items))
+	tweights := make([]int, len(items))
+	for i, it := range items {
+		weights[i] = ceilDiv(int(it.Mem), int(cfg.MemGranularity))
+		th := int(it.Threads)
+		if th < 0 {
+			th = 0
+		}
+		tweights[i] = ceilDiv(th, int(cfg.ThreadGranularity))
+	}
+
+	cols := T + 1
+	dp := make([]int64, (W+1)*cols) // dp[m*cols+t]
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		w, tw := weights[i], tweights[i]
+		row := make([]bool, (W+1)*cols)
+		take[i] = row
+		if w > W || tw > T {
+			continue
+		}
+		for m := W; m >= w; m-- {
+			base := m * cols
+			prev := (m - w) * cols
+			for t := T; t >= tw; t-- {
+				if cand := dp[prev+t-tw] + it.Value; cand > dp[base+t] {
+					dp[base+t] = cand
+					row[base+t] = true
+				}
+			}
+		}
+	}
+
+	res := Result{Value: dp[W*cols+T]}
+	m, t := W, T
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][m*cols+t] {
+			res.Selected = append(res.Selected, i)
+			res.Mem += items[i].Mem
+			res.Threads += items[i].Threads
+			m -= weights[i]
+			t -= tweights[i]
+		}
+	}
+	reverse(res.Selected)
+	return res
+}

@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"phishare/internal/units"
@@ -30,24 +29,58 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by time, then by insertion order.
+// eventHeap is a binary min-heap of events ordered by time, then by
+// insertion order. The heap code is inlined (rather than going through
+// container/heap's interface) so pushes and pops stay monomorphic and
+// allocation-free; the (at, seq) key is a total order, so the pop sequence
+// is identical to container/heap's regardless of internal layout.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	j := len(*h) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !(*h).less(j, parent) {
+			break
+		}
+		(*h)[j], (*h)[parent] = (*h)[parent], (*h)[j]
+		j = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	ev := old[0]
+	old[0] = old[n]
+	old[n] = nil
+	old = old[:n]
+	*h = old
+	// Sift the relocated root down.
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		smallest := j
+		if l < n && old.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && old.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == j {
+			break
+		}
+		old[j], old[smallest] = old[smallest], old[j]
+		j = smallest
+	}
 	return ev
 }
 
@@ -56,8 +89,13 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    units.Tick
 	events eventHeap
-	seq    uint64
-	steps  uint64
+	// free is the event free list: fired events return here and are reused
+	// by the next At, so a steady-state simulation stops allocating per
+	// event entirely (the engine processes hundreds of thousands of events
+	// per run; see BenchmarkSimEngine).
+	free  []*event
+	seq   uint64
+	steps uint64
 	// MaxSteps, if non-zero, bounds the number of events processed by Run;
 	// exceeding it panics. It is a guard against accidental event loops
 	// (e.g. a scheduler that reschedules itself at the current instant).
@@ -83,7 +121,16 @@ func (e *Engine) At(t units.Tick, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
+	e.events.push(ev)
 }
 
 // After schedules fn to run d ticks from now. Negative d panics.
@@ -116,7 +163,7 @@ func (e *Engine) RunUntil(t units.Tick) {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	if ev.at < e.now {
 		panic("sim: event heap corrupted: time went backwards")
 	}
@@ -125,7 +172,14 @@ func (e *Engine) step() {
 	if e.MaxSteps != 0 && e.steps > e.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (runaway event loop?)", e.MaxSteps, e.now))
 	}
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running the callback would be wrong: fn may panic and
+	// leave a half-cleared event reachable. Release after it returns; the
+	// callback's own scheduling draws from the free list populated by
+	// earlier steps.
+	fn()
+	ev.fn = nil // drop the closure so its captures can be collected
+	e.free = append(e.free, ev)
 }
 
 // Timer is a cancelable scheduled event. It is used by components that may
