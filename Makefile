@@ -7,12 +7,14 @@ GO ?= go
 # label its numbers land under. A perf PR records its baseline first:
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
-BENCH_OUT   ?= BENCH_1.json
+BENCH_OUT   ?= BENCH_2.json
 BENCH_LABEL ?= after
 
 # The regression suite: the hot-path micro-benchmarks plus the two macro
-# benchmarks that exercise the whole stack.
-BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan)$$
+# benchmarks that exercise the whole stack, and the observability
+# overhead pair (disabled must track BenchmarkEndToEndMCCK; instrumented
+# documents the cost of full instrumentation).
+BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan|BenchmarkObsOverhead)$$
 
 .PHONY: build vet test race bench ci
 

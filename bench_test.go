@@ -16,6 +16,7 @@ import (
 	"phishare/internal/experiments"
 	"phishare/internal/job"
 	"phishare/internal/knapsack"
+	"phishare/internal/obs"
 	"phishare/internal/rng"
 	"phishare/internal/sim"
 	"phishare/internal/units"
@@ -262,6 +263,31 @@ func BenchmarkEndToEndMCCK(b *testing.B) {
 		})
 		b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
 	}
+}
+
+// BenchmarkObsOverhead measures the observability layer against the same
+// end-to-end MCCK run as BenchmarkEndToEndMCCK: "disabled" is the baseline
+// (no observer attached — every instrumentation site is a nil check),
+// "instrumented" attaches the full obs stack (registry, trace, sampler).
+// The disabled case is the one the <5% regression gate in BENCH_2.json
+// guards; the instrumented case documents the cost of turning it all on.
+func BenchmarkObsOverhead(b *testing.B) {
+	jobs := job.GenerateTableOneSet(200, rng.New(11).Fork("tableI"))
+	run := func(b *testing.B, instrumented bool) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.RunConfig{
+				Policy: experiments.PolicyMCCK, Nodes: 8, Jobs: jobs, Seed: 11,
+			}
+			if instrumented {
+				cfg.Obs = obs.New()
+			}
+			res := experiments.Run(cfg)
+			b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkDynamicArrivals regenerates E9: response time under Poisson

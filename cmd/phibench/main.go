@@ -116,6 +116,7 @@ func main() {
 		syn     = flag.Int("syn", 400, "synthetic jobs per distribution")
 		out     = flag.String("o", "", "also write the report to this file")
 		jsonOut = flag.String("json", "", "write machine-readable results to this file")
+		obsDir  = flag.String("obs", "", "run each policy instrumented at the Table II config and write per-policy metric/event/series/dashboard dumps into this directory")
 	)
 	flag.Parse()
 
@@ -151,6 +152,18 @@ func main() {
 			results[name] = r
 		}
 		log.Printf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *obsDir != "" {
+		start := time.Now()
+		obsRes, err := experiments.DumpObserved(o, *obsDir)
+		if err != nil {
+			log.Fatalf("observability dump: %v", err)
+		}
+		for _, r := range obsRes {
+			log.Printf("observed %s: makespan %.0f s, artifacts in %s", r.Policy, r.Makespan.Seconds(), *obsDir)
+		}
+		log.Printf("obs dump done in %v", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *jsonOut != "" {

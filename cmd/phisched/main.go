@@ -7,21 +7,30 @@
 //
 //	phisched -policy MCCK -nodes 8 -jobs 1000 -workload tableI [-seed 42]
 //	phisched -policy MCC -workload normal -jobs 400
+//	phisched -policy MCCK -dashboard run.html -events events.jsonl -metrics run.prom
 //
 // Workloads: tableI (the paper's real application mix) or one of the
 // synthetic distributions uniform, normal, low-skew, high-skew.
+//
+// The observability flags (-events, -metrics, -series, -dashboard,
+// -eventlog) attach the internal/obs layer to the run and export its
+// artifacts; instrumentation never changes simulated outcomes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"phishare/internal/condor"
 	"phishare/internal/experiments"
 	"phishare/internal/job"
+	"phishare/internal/obs"
 	"phishare/internal/rng"
 	"phishare/internal/trace"
+	"phishare/internal/units"
 	"phishare/internal/workload"
 )
 
@@ -40,6 +49,13 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-workload turnaround breakdown")
 		traceOut = flag.String("trace", "", "write the offload trace (CSV) to this file")
 		svgOut   = flag.String("svg", "", "write the offload timeline as an SVG Gantt chart")
+
+		eventsOut  = flag.String("events", "", "write the structured trace event stream (JSONL) to this file")
+		metricsOut = flag.String("metrics", "", "write the metrics snapshot (Prometheus text format) to this file")
+		seriesOut  = flag.String("series", "", "write the sampled time series (CSV) to this file")
+		dashOut    = flag.String("dashboard", "", "write a self-contained HTML dashboard to this file")
+		sampleSec  = flag.Float64("sample", 5, "time-series sampling period in simulated seconds")
+		eventlog   = flag.String("eventlog", "", "write the condor job event log (CSV) to this file")
 	)
 	flag.Parse()
 
@@ -78,7 +94,48 @@ func main() {
 		rec = trace.NewRecorder()
 		runCfg.Trace = rec
 	}
+	var o *obs.Observer
+	if *eventsOut != "" || *metricsOut != "" || *seriesOut != "" || *dashOut != "" {
+		o = obs.New()
+		o.SampleInterval = units.Tick(*sampleSec * float64(units.Second))
+		runCfg.Obs = o
+	}
+	var elog *condor.EventLog
+	if *eventlog != "" {
+		elog = condor.NewEventLog()
+		runCfg.EventLog = elog
+	}
 	res := experiments.Run(runCfg)
+
+	writeArtifact := func(path, what string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("create %s: %v", path, err)
+		}
+		if err := write(f); err != nil {
+			log.Fatalf("write %s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s to %s", what, path)
+	}
+	if o != nil {
+		writeArtifact(*eventsOut, "event stream (JSONL)", o.WriteEvents)
+		writeArtifact(*metricsOut, "metrics snapshot (Prometheus)", o.WriteMetrics)
+		writeArtifact(*seriesOut, "time series (CSV)", o.WriteSeriesCSV)
+		writeArtifact(*dashOut, "dashboard (HTML)", func(w io.Writer) error {
+			title := fmt.Sprintf("phisched %s: %d jobs (%s) on %d nodes, seed %d",
+				res.Policy, res.JobCount, *wl, *nodes, *seed)
+			return o.WriteDashboard(w, title)
+		})
+	}
+	if elog != nil {
+		writeArtifact(*eventlog, "condor event log (CSV)", elog.WriteCSV)
+	}
 
 	if rec != nil && *svgOut != "" {
 		f, err := os.Create(*svgOut)

@@ -23,6 +23,7 @@ import (
 	"phishare/internal/cluster"
 	"phishare/internal/job"
 	"phishare/internal/metrics"
+	"phishare/internal/obs"
 	"phishare/internal/runner"
 	"phishare/internal/sim"
 	"phishare/internal/units"
@@ -293,6 +294,19 @@ type Pool struct {
 	OnTerminal func(*QueuedJob)
 	// Log, if set, records job lifecycle events (HTCondor's user log).
 	Log *EventLog
+
+	// Observability (SetObserver). Instrument handles are resolved once at
+	// wiring time; every hot-path site pays a nil check when disabled.
+	obs           *obs.Observer
+	obsCacheHit   *obs.Counter
+	obsCacheMiss  *obs.Counter
+	obsCacheInv   *obs.Counter
+	obsNeg        *obs.Counter
+	obsMatch      *obs.Counter
+	obsQedit      *obs.Counter
+	obsCycleGap   *obs.Histogram
+	lastNegAt     units.Tick
+	hasNegotiated bool
 }
 
 // matchKey identifies one matchmaking pair for the match cache.
@@ -310,12 +324,20 @@ type matchVal struct {
 // match is the cached equivalent of classad.Match(m.Ad, q.Ad).
 func (p *Pool) match(m *Machine, q *QueuedJob) bool {
 	if p.cfg.DisableMatchCache {
+		// No cache, no cache counters: the observability test asserts every
+		// cache series stays zero in this configuration.
 		return classad.Match(m.Ad, q.Ad)
 	}
 	k := matchKey{m, q}
 	mv, jv := m.Ad.Version(), q.Ad.Version()
-	if v, hit := p.matchCache[k]; hit && v.mv == mv && v.jv == jv {
-		return v.ok
+	if v, hit := p.matchCache[k]; hit {
+		if v.mv == mv && v.jv == jv {
+			p.obsCacheHit.Inc()
+			return v.ok
+		}
+		p.obsCacheInv.Inc() // present but stale: an ad mutated since caching
+	} else {
+		p.obsCacheMiss.Inc()
 	}
 	ok := classad.Match(m.Ad, q.Ad)
 	p.matchCache[k] = matchVal{mv: mv, jv: jv, ok: ok}
@@ -358,6 +380,21 @@ func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *
 	return p
 }
 
+// SetObserver attaches the observability layer and resolves the pool's
+// instrument handles. Call before Submit; a nil observer leaves the pool
+// uninstrumented (all handles nil, all emissions skipped).
+func (p *Pool) SetObserver(o *obs.Observer) {
+	p.obs = o
+	p.obsCacheHit = o.Counter("condor_match_cache_hits_total")
+	p.obsCacheMiss = o.Counter("condor_match_cache_misses_total")
+	p.obsCacheInv = o.Counter("condor_match_cache_invalidations_total")
+	p.obsNeg = o.Counter("condor_negotiations_total")
+	p.obsMatch = o.Counter("condor_matches_total")
+	p.obsQedit = o.Counter("condor_qedits_total")
+	p.obsCycleGap = o.Histogram("condor_negotiation_gap_seconds",
+		[]float64{1, 2, 5, 10, 20, 30, 60, 120})
+}
+
 // Machines exposes the machine inventory (fixed order).
 func (p *Pool) Machines() []*Machine { return p.machines }
 
@@ -376,6 +413,13 @@ func (p *Pool) Makespan() units.Tick { return p.makespan }
 
 // Config returns the (defaulted) pool configuration.
 func (p *Pool) Config() Config { return p.cfg }
+
+// Now returns the current simulated time (for policies and samplers that
+// hold a pool but not its engine).
+func (p *Pool) Now() units.Tick { return p.eng.Now() }
+
+// InFlight returns the number of dispatched, not-yet-terminal jobs.
+func (p *Pool) InFlight() int { return p.inFlight }
 
 // Submit enqueues jobs at the current time (priority 0) and triggers
 // negotiation.
@@ -424,6 +468,11 @@ func (p *Pool) Qedit(q *QueuedJob, requirements string) {
 		panic(fmt.Sprintf("condor: qedit of job %d: %v", q.Job.ID, err))
 	}
 	p.stats.Qedits++
+	p.obsQedit.Inc()
+	if p.obs != nil {
+		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "qedit",
+			obs.F("job", q.Job.ID), obs.F("requirements", requirements))
+	}
 }
 
 // requestNegotiation schedules a negotiation after delay, keeping only the
@@ -453,6 +502,19 @@ func (p *Pool) requestNegotiation(delay units.Tick) {
 // pending jobs against machine ads, claims and dispatches, policy post-hook.
 func (p *Pool) negotiate() {
 	p.stats.Negotiations++
+	p.obsNeg.Inc()
+	if p.obs != nil {
+		now := p.eng.Now()
+		if p.hasNegotiated {
+			p.obsCycleGap.Observe((now - p.lastNegAt).Seconds())
+		}
+		p.lastNegAt = now
+		p.hasNegotiated = true
+		p.obs.Emit(now, obs.LayerCondor, "negotiation_start",
+			obs.F("cycle", p.stats.Negotiations),
+			obs.F("pending", len(p.pending)),
+			obs.F("in_flight", p.inFlight))
+	}
 	p.policy.PreNegotiation(p)
 
 	if p.cfg.FairShare {
@@ -499,6 +561,13 @@ func (p *Pool) negotiate() {
 
 	p.policy.PostNegotiation(p)
 
+	if p.obs != nil {
+		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_end",
+			obs.F("cycle", p.stats.Negotiations),
+			obs.F("matched", matched),
+			obs.F("pending", len(p.pending)))
+	}
+
 	if matched == 0 && p.inFlight == 0 {
 		p.emptyCycles++
 	} else {
@@ -513,6 +582,10 @@ func (p *Pool) negotiate() {
 			p.noteEnd(q.EndTime)
 			p.stats.Stalled++
 			p.record(EventStallAbort, q, "")
+			if p.obs != nil {
+				p.obs.Emit(p.eng.Now(), obs.LayerCondor, "stall_abort",
+					obs.F("job", q.Job.ID))
+			}
 			p.forgetJob(q)
 			if p.OnTerminal != nil {
 				p.OnTerminal(q)
@@ -540,6 +613,13 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 	m.updateAd()
 	p.inFlight++
 	p.record(EventMatch, q, m.Name)
+	p.obsMatch.Inc()
+	if p.obs != nil {
+		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "match",
+			obs.F("job", q.Job.ID), obs.F("machine", m.Name),
+			obs.F("free_mem_mb", m.FreeMem),
+			obs.F("resident", len(m.Resident)))
+	}
 
 	p.eng.After(p.cfg.DispatchLatency, func() {
 		if !q.started {

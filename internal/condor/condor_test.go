@@ -1,6 +1,7 @@
 package condor_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -672,4 +673,69 @@ func TestEventLogCSV(t *testing.T) {
 func TestNilEventLogIsFree(t *testing.T) {
 	r := rig(scheduler.NewExclusive(), 1, false)
 	r.run(t, []*job.Job{mkJob(0, 500, 60, 1)}) // no Log attached: must not panic
+}
+
+// TestEventKindStringRoundTrip: every kind parses back from its string form,
+// and unknown names are rejected.
+func TestEventKindStringRoundTrip(t *testing.T) {
+	for _, k := range condor.EventKinds() {
+		got, err := condor.ParseEventKind(k.String())
+		if err != nil {
+			t.Errorf("ParseEventKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseEventKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := condor.ParseEventKind("evicted"); err == nil {
+		t.Error("ParseEventKind accepted an unknown kind")
+	}
+}
+
+// TestEventLogCSVRoundTrip writes a log containing every EventKind —
+// including the crash/resubmit/stall-abort paths — through WriteCSV and
+// reads it back with ReadCSV, expecting an identical event slice.
+func TestEventLogCSVRoundTrip(t *testing.T) {
+	// MCCK with a memory liar (MaxRetries 1) produces submit, match, execute,
+	// crash, resubmit, and a second crash; the whale no machine can hold is
+	// never pinned, so the stall breaker aborts it.
+	eng := sim.New()
+	clu := cluster.New(eng, cluster.Config{Nodes: 1, UseCosmic: true, Seed: 1})
+	pool := condor.NewPool(eng, clu, core.New(core.Config{}),
+		condor.Config{MaxRetries: 1})
+	log := condor.NewEventLog()
+	pool.Log = log
+	liar := mkJob(0, 500, 60, 1)
+	liar.ActualPeakMem = 900
+	honest := mkJob(1, 400, 50, 1)
+	whale := mkJob(2, 1<<20, 60, 1)
+	pool.Submit([]*job.Job{liar, honest, whale})
+	eng.Run()
+
+	seen := map[condor.EventKind]bool{}
+	for _, e := range log.Events() {
+		seen[e.Kind] = true
+	}
+	for _, k := range condor.EventKinds() {
+		if !seen[k] {
+			t.Fatalf("workload never produced %v; round trip would not cover it", k)
+		}
+	}
+
+	var buf strings.Builder
+	if err := log.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := condor.ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, log.Events()) {
+		t.Fatalf("round trip mismatch:\nwrote %v\nread  %v", log.Events(), got)
+	}
+
+	// ReadCSV rejects a foreign header outright.
+	if _, err := condor.ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("ReadCSV accepted a bad header")
+	}
 }

@@ -50,6 +50,22 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
+// EventKinds lists every kind, in declaration order.
+func EventKinds() []EventKind {
+	return []EventKind{EventSubmit, EventMatch, EventExecute, EventTerminate,
+		EventCrash, EventResubmit, EventStallAbort}
+}
+
+// ParseEventKind inverts EventKind.String.
+func ParseEventKind(s string) (EventKind, error) {
+	for _, k := range EventKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("condor: unknown event kind %q", s)
+}
+
 // Event is one job lifecycle record.
 type Event struct {
 	At      units.Tick
@@ -117,6 +133,45 @@ func (l *EventLog) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ReadCSV parses a log previously exported by WriteCSV (header row
+// included) back into events.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("condor: event log header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "time_ms" || header[1] != "event" {
+		return nil, fmt.Errorf("condor: unexpected event log header %v", header)
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		at, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("condor: event log line %d: bad time %q", line, rec[0])
+		}
+		kind, err := ParseEventKind(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("condor: event log line %d: %w", line, err)
+		}
+		jobID, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("condor: event log line %d: bad job id %q", line, rec[2])
+		}
+		events = append(events, Event{
+			At: units.Tick(at), Kind: kind, JobID: jobID,
+			User: rec[3], Machine: rec[4],
+		})
+	}
 }
 
 // record appends an event if a log is attached.

@@ -27,6 +27,7 @@ import (
 
 	"phishare/internal/condor"
 	"phishare/internal/knapsack"
+	"phishare/internal/obs"
 	"phishare/internal/units"
 )
 
@@ -148,6 +149,14 @@ type Scheduler struct {
 	// lastPlanned counts the jobs pinned by the most recent planning round
 	// (instrumentation).
 	lastPlanned int
+
+	// Observability (SetObserver); nil handles no-op when disabled.
+	obs         *obs.Observer
+	obsRounds   *obs.Counter
+	obsPlanned  *obs.Counter
+	obsDeferred *obs.Counter
+	obsDP       *obs.Counter
+	obsFast     *obs.Counter
 }
 
 // New returns an MCCK scheduler.
@@ -155,13 +164,32 @@ func New(cfg Config) *Scheduler {
 	return &Scheduler{cfg: cfg.withDefaults(), solver: knapsack.NewSolver()}
 }
 
+// SetObserver attaches the observability layer and resolves the scheduler's
+// instrument handles. A nil observer disables instrumentation.
+func (s *Scheduler) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.obsRounds = o.Counter("core_plan_rounds_total")
+	s.obsPlanned = o.Counter("core_jobs_planned_total")
+	s.obsDeferred = o.Counter("core_jobs_deferred_total")
+	s.obsDP = o.Counter("core_knapsack_dp_solves_total")
+	s.obsFast = o.Counter("core_knapsack_fastpath_solves_total")
+}
+
 // solve dispatches one knapsack instance to the reusable solver, or to the
 // reference DP when the determinism harness asks for it.
 func (s *Scheduler) solve(cfg knapsack.Config, items []knapsack.Item) knapsack.Result {
 	if s.cfg.ReferenceSolver {
+		// The reference path always runs the full DP.
+		s.obsDP.Inc()
 		return knapsack.SolveReference(cfg, items)
 	}
-	return s.solver.Solve(cfg, items)
+	res := s.solver.Solve(cfg, items)
+	if s.solver.TookFastPath() {
+		s.obsFast.Inc()
+	} else {
+		s.obsDP.Inc()
+	}
+	return res
 }
 
 // Name implements condor.Policy.
@@ -240,7 +268,7 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 		if len(remaining) == 0 {
 			break
 		}
-		picked := s.packDevice(m, remaining)
+		picked := s.packDevice(p, m, remaining)
 		if len(picked) == 0 {
 			continue
 		}
@@ -257,11 +285,21 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 		}
 		remaining = rest
 	}
+	s.obsRounds.Inc()
+	s.obsPlanned.Add(int64(len(plan)))
+	s.obsDeferred.Add(int64(len(window) - len(plan)))
+	if s.obs != nil {
+		s.obs.Emit(p.Now(), obs.LayerCore, "plan_round",
+			obs.F("pending", len(pending)),
+			obs.F("window", len(window)),
+			obs.F("planned", len(plan)),
+			obs.F("deferred", len(window)-len(plan)))
+	}
 	return plan
 }
 
 // packDevice packs one device's knapsack from the candidate jobs.
-func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob) []*condor.QueuedJob {
+func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*condor.QueuedJob) []*condor.QueuedJob {
 	memBudget := m.FreeMem
 	slotBudget := m.FreeSlots()
 	if memBudget <= 0 || slotBudget <= 0 {
@@ -285,6 +323,8 @@ func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob
 
 	var picked []*condor.QueuedJob
 	chosen := make([]bool, len(candidates))
+	var stage1Value int64
+	stage1Fast := false
 
 	// Stage 1: the concurrency-maximizing 2-D knapsack.
 	if threadBudget > 0 || s.cfg.DisableThreadDim {
@@ -297,12 +337,15 @@ func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob
 			cfg.ThreadCapacity = threadBudget
 		}
 		res := s.solve(cfg, items)
+		stage1Value = res.Value
+		stage1Fast = !s.cfg.ReferenceSolver && s.solver.TookFastPath()
 		for _, idx := range res.Selected {
 			chosen[idx] = true
 			picked = append(picked, candidates[idx])
 		}
 		memBudget -= res.Mem
 	}
+	stage1Count := len(picked)
 
 	// Stage 2: fill remaining memory with leftover jobs using the paper's
 	// 1-D memory knapsack (Eq. 1 values, count tie-break). Thread pressure
@@ -343,6 +386,21 @@ func (s *Scheduler) packDevice(m *condor.Machine, candidates []*condor.QueuedJob
 	// stage-1 (value-maximal) picks take precedence over fill picks.
 	if len(picked) > slotBudget {
 		picked = picked[:slotBudget]
+	}
+	if s.obs != nil {
+		ids := make([]int, len(picked))
+		for i, q := range picked {
+			ids[i] = q.Job.ID
+		}
+		s.obs.Emit(p.Now(), obs.LayerCore, "knapsack",
+			obs.F("device", m.Name),
+			obs.F("candidates", len(candidates)),
+			obs.F("mem_budget_mb", m.FreeMem),
+			obs.F("thread_budget", threadBudget),
+			obs.F("stage1_value", stage1Value),
+			obs.F("stage1_fastpath", stage1Fast),
+			obs.F("fill", len(picked)-min(stage1Count, len(picked))),
+			obs.F("picked_jobs", ids))
 	}
 	return picked
 }

@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"phishare/internal/job"
+	"phishare/internal/obs"
 	"phishare/internal/phi"
 	"phishare/internal/sim"
 	"phishare/internal/units"
@@ -92,6 +93,17 @@ type Manager struct {
 	// may overtake a blocked wide one. Default false (strict arrival
 	// order); see the package comment.
 	Bypass bool
+
+	// Observability (SetObserver); nil handles no-op when disabled.
+	obs           *obs.Observer
+	obsQDepth     *obs.Gauge
+	obsAdmitDepth *obs.Gauge
+	obsDispatched *obs.Counter
+	obsWaited     *obs.Counter
+	obsKills      *obs.Counter
+	obsBlocked    *obs.Counter
+	obsHolWait    *obs.Histogram
+	obsAdmitWait  *obs.Histogram
 }
 
 // New wraps dev with a COSMIC manager and enables affinitized core
@@ -103,6 +115,29 @@ func New(eng *sim.Engine, dev *phi.Device) *Manager {
 
 // Device exposes the managed coprocessor.
 func (m *Manager) Device() *phi.Device { return m.dev }
+
+// SetObserver attaches the observability layer; series are labelled with
+// the managed device's ID. A nil observer disables instrumentation.
+func (m *Manager) SetObserver(o *obs.Observer) {
+	m.obs = o
+	dev := m.dev.ID
+	m.obsQDepth = o.Gauge("cosmic_offload_queue_depth", "device", dev)
+	m.obsAdmitDepth = o.Gauge("cosmic_admit_queue_depth", "device", dev)
+	m.obsDispatched = o.Counter("cosmic_offloads_dispatched_total", "device", dev)
+	m.obsWaited = o.Counter("cosmic_offloads_waited_total", "device", dev)
+	m.obsKills = o.Counter("cosmic_container_kills_total", "device", dev)
+	m.obsBlocked = o.Counter("cosmic_admissions_blocked_total", "device", dev)
+	waitBounds := []float64{0.5, 1, 2, 5, 10, 30, 60, 120, 300}
+	m.obsHolWait = o.Histogram("cosmic_offload_wait_seconds", waitBounds, "device", dev)
+	m.obsAdmitWait = o.Histogram("cosmic_admit_wait_seconds", waitBounds, "device", dev)
+}
+
+// noteDepth refreshes the queue-depth gauges; called wherever either queue
+// mutates.
+func (m *Manager) noteDepth() {
+	m.obsQDepth.Set(float64(len(m.queue)))
+	m.obsAdmitDepth.Set(float64(len(m.admitQ)))
+}
 
 // Stats returns activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -134,6 +169,12 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 		// let it wait for capacity that can never exist.
 		p := m.dev.Attach(j)
 		m.stats.ContainerKills++
+		m.obsKills.Inc()
+		if m.obs != nil {
+			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "container_kill",
+				obs.F("device", m.dev.ID), obs.F("job", j.ID),
+				obs.F("declared_mb", j.Mem), obs.F("device_mb", m.dev.Config().Memory))
+		}
 		m.dev.Kill(p, phi.KillContainer)
 		ready(p)
 		return
@@ -143,7 +184,15 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 		return
 	}
 	m.stats.AdmissionsBlocked++
+	m.obsBlocked.Inc()
 	m.admitQ = append(m.admitQ, &admitReq{j: j, ready: ready, arrived: m.eng.Now()})
+	if m.obs != nil {
+		m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "admit_blocked",
+			obs.F("device", m.dev.ID), obs.F("job", j.ID),
+			obs.F("declared_mb", j.Mem), obs.F("declared_free_mb", m.DeclaredFree()),
+			obs.F("admit_queue", len(m.admitQ)))
+	}
+	m.noteDepth()
 }
 
 // DeclaredFree is the device memory not reserved by admitted live jobs.
@@ -176,7 +225,15 @@ func (m *Manager) pumpAdmits() {
 			return
 		}
 		m.admitQ = m.admitQ[1:]
-		m.stats.TotalAdmitWait += m.eng.Now() - head.arrived
+		wait := m.eng.Now() - head.arrived
+		m.stats.TotalAdmitWait += wait
+		m.obsAdmitWait.Observe(wait.Seconds())
+		if m.obs != nil {
+			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "admitted",
+				obs.F("device", m.dev.ID), obs.F("job", head.j.ID),
+				obs.F("wait_ms", wait))
+		}
+		m.noteDepth()
 		head.ready(m.Attach(head.j))
 	}
 }
@@ -226,6 +283,12 @@ func (m *Manager) Offload(p *phi.Process, threads units.Threads, work units.Tick
 	if !dispatched(req, m.queue) {
 		req.waited = true
 		m.stats.OffloadsQueued++
+		m.obsWaited.Inc()
+		if m.obs != nil {
+			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "offload_waited",
+				obs.F("device", m.dev.ID), obs.F("job", p.Job.ID),
+				obs.F("threads", threads), obs.F("queue", len(m.queue)))
+		}
 	}
 }
 
@@ -247,6 +310,12 @@ func (m *Manager) enforceContainer(p *phi.Process, wouldCommit units.MB) bool {
 	}
 	if wouldCommit > p.Job.Mem {
 		m.stats.ContainerKills++
+		m.obsKills.Inc()
+		if m.obs != nil {
+			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "container_kill",
+				obs.F("device", m.dev.ID), obs.F("job", p.Job.ID),
+				obs.F("declared_mb", p.Job.Mem), obs.F("would_commit_mb", wouldCommit))
+		}
 		m.dev.Kill(p, phi.KillContainer)
 		delete(m.admitted, p)
 		m.pump()
@@ -278,11 +347,20 @@ func (m *Manager) pump() {
 		}
 	}
 	m.queue = remaining
+	m.noteDepth()
 }
 
 func (m *Manager) dispatch(req *request) {
 	m.stats.OffloadsDispatched++
-	m.stats.TotalQueueWait += m.eng.Now() - req.enqueued
+	wait := m.eng.Now() - req.enqueued
+	m.stats.TotalQueueWait += wait
+	m.obsDispatched.Inc()
+	m.obsHolWait.Observe(wait.Seconds())
+	if m.obs != nil && req.waited {
+		m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "offload_dispatched",
+			obs.F("device", m.dev.ID), obs.F("job", req.proc.Job.ID),
+			obs.F("threads", req.threads), obs.F("wait_ms", wait))
+	}
 	done := req.done
 	m.dev.StartOffload(req.proc, req.threads, req.work, func(o phi.OffloadOutcome) {
 		done(o)

@@ -12,6 +12,7 @@ import (
 	"phishare/internal/core"
 	"phishare/internal/job"
 	"phishare/internal/metrics"
+	"phishare/internal/obs"
 	"phishare/internal/phi"
 	"phishare/internal/rng"
 	"phishare/internal/scheduler"
@@ -67,6 +68,14 @@ type RunConfig struct {
 	// the run (pool.Records()). Determinism harnesses use it to compare
 	// entire outcome streams, not just aggregate metrics.
 	RecordSink *[]metrics.JobRecord
+	// Obs, if non-nil, attaches the observability layer to every component
+	// (pool, policy, devices, COSMIC managers) and runs the time-series
+	// sampler for the whole simulation. Outcome-neutral by construction;
+	// TestObservabilityPreservesOutcomes proves it.
+	Obs *obs.Observer
+	// EventLog, if non-nil, receives the pool's job lifecycle events
+	// (HTCondor's user log; see condor.EventLog).
+	EventLog *condor.EventLog
 }
 
 // usesCosmic resolves the node middleware choice.
@@ -135,7 +144,12 @@ func Run(cfg RunConfig) Result {
 			u.Device.Trace = cfg.Trace
 		}
 	}
-	pool := condor.NewPool(eng, clu, cfg.buildPolicy(), cfg.Condor)
+	pol := cfg.buildPolicy()
+	pool := condor.NewPool(eng, clu, pol, cfg.Condor)
+	pool.Log = cfg.EventLog
+	if cfg.Obs != nil {
+		wireObservability(cfg.Obs, eng, pool, pol, clu)
+	}
 	pool.Submit(cfg.Jobs)
 	eng.Run()
 	if !pool.Done() {

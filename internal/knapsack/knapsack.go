@@ -179,15 +179,24 @@ type Solver struct {
 	take     []uint64
 	weights  []int
 	tweights []int
+	// fast records whether the most recent Solve took the all-fits fast
+	// path. Kept on the Solver (not in Result) so Result stays bit-for-bit
+	// comparable against SolveReference's.
+	fast bool
 }
 
 // NewSolver returns an empty Solver; buffers grow on first use.
 func NewSolver() *Solver { return &Solver{} }
 
+// TookFastPath reports whether the most recent Solve skipped the DP via the
+// all-fits fast path (observability; see internal/obs).
+func (s *Solver) TookFastPath() bool { return s.fast }
+
 // Solve solves one instance, reusing the Solver's buffers.
 func (s *Solver) Solve(cfg Config, items []Item) Result {
 	cfg = cfg.withDefaults()
 	validate(items)
+	s.fast = false
 	if cfg.MemCapacity <= 0 || len(items) == 0 {
 		return Result{}
 	}
@@ -245,6 +254,7 @@ func (s *Solver) solve1D(cfg Config, items []Item) Result {
 	}
 	if sumW <= W {
 		// Every feasible item fits together: no packing decision to make.
+		s.fast = true
 		return takeAllFeasible(items, s.weights, nil, W, 0)
 	}
 	// States beyond the total feasible weight are constant; never
@@ -313,6 +323,7 @@ func (s *Solver) solve2D(cfg Config, items []Item) Result {
 		sumT += tw
 	}
 	if sumW <= W && sumT <= T {
+		s.fast = true
 		return takeAllFeasible(items, s.weights, s.tweights, W, T)
 	}
 	// DP states beyond the total feasible weight are constant; cap the

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"phishare/internal/units"
+)
+
+// sparkPalette mirrors internal/trace's colorblind-safe SVG palette so
+// dashboards and offload timelines read as one visual family.
+var sparkPalette = []string{"#1f77b4", "#2ca02c", "#9467bd", "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f"}
+
+const (
+	sparkW = 560
+	sparkH = 48
+)
+
+// WriteDashboard renders the observer's full state — counters, gauges,
+// histograms, sampled time series as SVG sparklines, and an event-count
+// breakdown — as one self-contained HTML page. Deterministic: series and
+// tables are sorted, so the same run always produces the same bytes.
+func (o *Observer) WriteDashboard(w io.Writer, title string) error {
+	if o == nil {
+		return nil
+	}
+	var sb strings.Builder
+	esc := html.EscapeString
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", esc(title))
+	sb.WriteString(`<style>
+body { font-family: sans-serif; font-size: 13px; margin: 24px; color: #222; }
+h1 { font-size: 18px; } h2 { font-size: 15px; margin-top: 28px; border-bottom: 1px solid #ddd; padding-bottom: 4px; }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td { border: 1px solid #ddd; padding: 3px 10px; text-align: left; font-size: 12px; }
+th { background: #f5f5f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.series { margin: 10px 0; }
+.series .name { font-family: monospace; font-size: 12px; }
+.series .stats { color: #777; font-size: 11px; margin-left: 8px; }
+</style>
+</head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", esc(title))
+
+	smp := o.sampler
+	var endT units.Tick
+	if smp != nil && len(smp.times) > 0 {
+		endT = smp.times[len(smp.times)-1]
+	}
+	fmt.Fprintf(&sb, "<p>%d metric series &middot; %d trace events &middot; %d samples",
+		o.seriesCount(), o.Trace.Len(), smp.Samples())
+	if endT > 0 {
+		fmt.Fprintf(&sb, " over %.1f simulated seconds", endT.Seconds())
+	}
+	sb.WriteString("</p>\n")
+
+	o.writeSparklines(&sb)
+	o.writeCounterTable(&sb)
+	o.writeGaugeTable(&sb)
+	o.writeHistogramTable(&sb)
+	o.writeEventTable(&sb)
+
+	sb.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (o *Observer) seriesCount() int {
+	if o.Reg == nil {
+		return 0
+	}
+	return len(o.Reg.counters) + len(o.Reg.gauges) + len(o.Reg.hists)
+}
+
+func (o *Observer) writeSparklines(sb *strings.Builder) {
+	smp := o.sampler
+	if smp == nil || len(smp.rows) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Time series</h2>\n")
+	for i, name := range smp.names {
+		vals := make([]float64, len(smp.rows))
+		minV, maxV := smp.rows[0][i], smp.rows[0][i]
+		sum := 0.0
+		for j, row := range smp.rows {
+			v := row[i]
+			vals[j] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		mean := sum / float64(len(vals))
+		last := vals[len(vals)-1]
+		fmt.Fprintf(sb, "<div class=\"series\"><span class=\"name\">%s</span>"+
+			"<span class=\"stats\">min %s &middot; mean %s &middot; max %s &middot; last %s</span><br>\n",
+			html.EscapeString(name), formatFloat(minV), formatFloat(mean), formatFloat(maxV), formatFloat(last))
+		writeSparkSVG(sb, vals, sparkPalette[i%len(sparkPalette)])
+		sb.WriteString("</div>\n")
+	}
+}
+
+// writeSparkSVG draws one series as a filled polyline scaled to its own
+// [0, max] range (floor of 1 so flat-zero series stay flat lines).
+func writeSparkSVG(sb *strings.Builder, vals []float64, color string) {
+	maxV := 1.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	fmt.Fprintf(sb, `<svg width="%d" height="%d" font-family="sans-serif" font-size="10">`, sparkW, sparkH)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="#fafafa" stroke="#ddd"/>`, sparkW, sparkH)
+	step := float64(sparkW-2) / float64(maxInt(len(vals)-1, 1))
+	var pts strings.Builder
+	for j, v := range vals {
+		x := 1 + float64(j)*step
+		y := float64(sparkH-2) - v/maxV*float64(sparkH-6)
+		fmt.Fprintf(&pts, "%.1f,%.1f ", x, y)
+	}
+	// Closed area under the line, then the line itself on top.
+	fmt.Fprintf(sb, `<polygon points="1,%d %s%.1f,%d" fill="%s" fill-opacity="0.15"/>`,
+		sparkH-2, pts.String(), 1+float64(len(vals)-1)*step, sparkH-2, color)
+	fmt.Fprintf(sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.2"/>`,
+		strings.TrimRight(pts.String(), " "), color)
+	sb.WriteString("</svg>\n")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (o *Observer) writeCounterTable(sb *strings.Builder) {
+	if o.Reg == nil || len(o.Reg.counters) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Counters</h2>\n<table><tr><th>series</th><th>value</th></tr>\n")
+	for _, id := range sortedKeys(o.Reg.counters) {
+		fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td class=\"num\">%d</td></tr>\n",
+			html.EscapeString(id), o.Reg.counters[id].Value())
+	}
+	sb.WriteString("</table>\n")
+}
+
+func (o *Observer) writeGaugeTable(sb *strings.Builder) {
+	if o.Reg == nil || len(o.Reg.gauges) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Gauges (final)</h2>\n<table><tr><th>series</th><th>value</th></tr>\n")
+	for _, id := range sortedKeys(o.Reg.gauges) {
+		fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(id), formatFloat(o.Reg.gauges[id].Value()))
+	}
+	sb.WriteString("</table>\n")
+}
+
+func (o *Observer) writeHistogramTable(sb *strings.Builder) {
+	if o.Reg == nil || len(o.Reg.hists) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Histograms</h2>\n<table><tr><th>series</th><th>count</th><th>mean</th><th>buckets (&le;bound: n)</th></tr>\n")
+	for _, id := range sortedKeys(o.Reg.hists) {
+		h := o.Reg.hists[id]
+		var bs strings.Builder
+		for i, b := range h.bounds {
+			if h.counts[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(&bs, "&le;%s: %d&ensp;", formatFloat(b), h.counts[i])
+		}
+		if h.counts[len(h.bounds)] > 0 {
+			fmt.Fprintf(&bs, "+Inf: %d", h.counts[len(h.bounds)])
+		}
+		fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td class=\"num\">%d</td><td class=\"num\">%.3g</td><td>%s</td></tr>\n",
+			html.EscapeString(id), h.n, h.Mean(), bs.String())
+	}
+	sb.WriteString("</table>\n")
+}
+
+func (o *Observer) writeEventTable(sb *strings.Builder) {
+	if o.Trace.Len() == 0 {
+		return
+	}
+	counts := map[string]int{}
+	for _, e := range o.Trace.Events() {
+		counts[e.Layer+"/"+e.Kind]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sb.WriteString("<h2>Trace events</h2>\n<table><tr><th>layer/kind</th><th>count</th></tr>\n")
+	for _, k := range keys {
+		fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td class=\"num\">%d</td></tr>\n",
+			html.EscapeString(k), counts[k])
+	}
+	sb.WriteString("</table>\n")
+}

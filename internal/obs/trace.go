@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"phishare/internal/units"
+)
+
+// Field is one key/value attribute of a trace event. Fields keep their
+// emission order (they are not sorted), so an event serializes exactly as
+// the emitting site wrote it.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Event is one structured trace event on the simulated timeline.
+type Event struct {
+	At     units.Tick // simulated time, ms
+	Layer  string     // emitting layer: condor, core, cosmic, phi
+	Kind   string     // event kind within the layer, e.g. "negotiation_start"
+	Fields []Field
+}
+
+// Field returns the value of the named field (nil when absent).
+func (e Event) Field(key string) any {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Val
+		}
+	}
+	return nil
+}
+
+// AppendJSON appends the event as one JSON object. Keys time_ms, layer and
+// kind come first, then the fields in emission order.
+func (e Event) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"time_ms":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	buf = append(buf, `,"layer":`...)
+	buf = appendJSONString(buf, e.Layer)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, e.Kind)
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, f.Val)
+	}
+	return append(buf, '}')
+}
+
+func appendJSONString(buf []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// json.Marshal on a string never fails; keep the exporter total anyway.
+		return append(buf, `"?"`...)
+	}
+	return append(buf, b...)
+}
+
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return append(buf, formatFloat(x)...)
+	case string:
+		return appendJSONString(buf, x)
+	case units.Tick:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case units.MB:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case units.Threads:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case []int:
+		buf = append(buf, '[')
+		for i, n := range x {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(n), 10)
+		}
+		return append(buf, ']')
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return appendJSONString(buf, fmt.Sprint(v))
+		}
+		return append(buf, b...)
+	}
+}
+
+// Trace accumulates structured events in emission order (which, on a
+// single-goroutine sim engine, is causal simulated-time order). A nil
+// *Trace drops every Emit.
+type Trace struct {
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit appends one event. Safe on a nil trace, but callers on hot paths
+// should guard with a nil check so the variadic fields are never built
+// when tracing is off.
+func (t *Trace) Emit(at units.Tick, layer, kind string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Layer: layer, Kind: kind, Fields: fields})
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events (shared slice; callers must not
+// mutate).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Count returns how many events match layer (and kind, unless empty).
+func (t *Trace) Count(layer, kind string) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range t.events {
+		if e.Layer == layer && (kind == "" || e.Kind == kind) {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL streams the trace as one JSON object per line. A nil trace
+// writes nothing.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 256)
+	for _, e := range t.events {
+		buf = e.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"phishare/internal/job"
+	"phishare/internal/obs"
 	"phishare/internal/rng"
 	"phishare/internal/sim"
 	"phishare/internal/units"
@@ -213,6 +214,14 @@ type Device struct {
 	lastBusy    int
 
 	stats Stats
+
+	// Observability (SetObserver); nil handles no-op when disabled.
+	obs         *obs.Observer
+	obsOOM      *obs.Counter
+	obsStarted  *obs.Counter
+	obsComplete *obs.Counter
+	obsAborted  *obs.Counter
+	obsSpeed    *obs.Histogram
 }
 
 // NewDevice creates a device. rand drives OOM victim selection; a nil sink
@@ -225,11 +234,11 @@ func NewDevice(eng *sim.Engine, id string, cfg Config, rand *rng.Source, sink Ut
 		rand = rng.New(1)
 	}
 	d := &Device{
-		ID:   id,
-		cfg:  cfg,
-		eng:  eng,
-		rand: rand,
-		sink: sink,
+		ID:    id,
+		cfg:   cfg,
+		eng:   eng,
+		rand:  rand,
+		sink:  sink,
 		procs: map[*Process]bool{},
 	}
 	return d
@@ -237,6 +246,22 @@ func NewDevice(eng *sim.Engine, id string, cfg Config, rand *rng.Source, sink Ut
 
 // Config returns the device model.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetObserver attaches the observability layer; series are labelled with
+// the device ID. A nil observer disables instrumentation.
+func (d *Device) SetObserver(o *obs.Observer) {
+	d.obs = o
+	d.obsOOM = o.Counter("phi_oom_kills_total", "device", d.ID)
+	d.obsStarted = o.Counter("phi_offloads_started_total", "device", d.ID)
+	d.obsComplete = o.Counter("phi_offloads_completed_total", "device", d.ID)
+	d.obsAborted = o.Counter("phi_offloads_aborted_total", "device", d.ID)
+	d.obsSpeed = o.Histogram("phi_speed_factor",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}, "device", d.ID)
+}
+
+// Speed exposes the current processor-sharing rate (see speed) for
+// samplers and monitoring probes.
+func (d *Device) Speed() float64 { return d.speed() }
 
 // Stats returns activity counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -353,8 +378,14 @@ func (d *Device) StartOffload(p *Process, threads units.Threads, work units.Tick
 	p.off = o
 	d.offloads = append(d.offloads, o)
 	d.stats.OffloadsStarted++
+	d.obsStarted.Inc()
 	if d.Trace != nil {
 		d.Trace.OffloadStarted(d.eng.Now(), p.Job.Name, threads)
+	}
+	if d.obs != nil {
+		d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_start",
+			obs.F("device", d.ID), obs.F("job", p.Job.ID),
+			obs.F("threads", threads), obs.F("work_ms", work))
 	}
 
 	// Transferring in the offload's buffers commits the process's peak.
@@ -377,8 +408,14 @@ func (d *Device) abortOffload(o *offload) {
 	}
 	o.proc.off = nil
 	d.stats.OffloadsAborted++
+	d.obsAborted.Inc()
 	if d.Trace != nil {
 		d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, false)
+	}
+	if d.obs != nil {
+		d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_end",
+			obs.F("device", d.ID), obs.F("job", o.proc.Job.ID),
+			obs.F("completed", false))
 	}
 	done := o.done
 	d.eng.After(0, func() { done(OffloadAborted) })
@@ -479,6 +516,10 @@ func (d *Device) replan() {
 		min = 0
 	}
 	rate := d.speed()
+	// The slowdown-factor histogram samples the rate at every replan: each
+	// offload start/end re-evaluates sharing, so the distribution captures
+	// exactly the contention regimes the device passes through.
+	d.obsSpeed.Observe(rate)
 	dt := units.Tick(math.Ceil(min / rate))
 	d.timer = d.eng.AfterTimer(dt, d.onCompletionTick)
 }
@@ -501,8 +542,14 @@ func (d *Device) onCompletionTick() {
 	for _, o := range finished {
 		o.proc.off = nil
 		d.stats.OffloadsCompleted++
+		d.obsComplete.Inc()
 		if d.Trace != nil {
 			d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, true)
+		}
+		if d.obs != nil {
+			d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_end",
+				obs.F("device", d.ID), obs.F("job", o.proc.Job.ID),
+				obs.F("completed", true))
 		}
 		done := o.done
 		d.eng.After(0, func() { done(OffloadCompleted) })
@@ -523,6 +570,13 @@ func (d *Device) checkOOM() {
 		sortProcs(victims)
 		victim := victims[d.rand.Intn(len(victims))]
 		d.stats.OOMKills++
+		d.obsOOM.Inc()
+		if d.obs != nil {
+			d.obs.Emit(d.eng.Now(), obs.LayerPhi, "oom_kill",
+				obs.F("device", d.ID), obs.F("job", victim.Job.ID),
+				obs.F("committed_mb", d.CommittedMemory()),
+				obs.F("device_mb", d.cfg.Memory))
+		}
 		d.terminate(victim, KillOOM)
 	}
 }

@@ -23,10 +23,20 @@ func (r *Recorder) WriteSVG(w io.Writer, hwThreads units.Threads) error {
 		bottomPad = 30
 	)
 	jobs := r.Jobs()
+	// The axis must cover open intervals too: a snapshot mid-run has bars
+	// with no end yet, which render to the right edge of the chart.
 	end := r.End()
-	if end == 0 || len(jobs) == 0 {
+	for _, iv := range r.intervals {
+		if iv.Open() && iv.Start > end {
+			end = iv.Start
+		}
+	}
+	if len(jobs) == 0 {
 		_, err := fmt.Fprint(w, emptySVG)
 		return err
+	}
+	if end == 0 {
+		end = units.Second // only open intervals at t=0: nominal axis span
 	}
 	rows := map[string]int{}
 	for i, name := range jobs {
@@ -53,9 +63,6 @@ func (r *Recorder) WriteSVG(w io.Writer, hwThreads units.Threads) error {
 	ivs := r.Intervals()
 	sort.SliceStable(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
 	for _, iv := range ivs {
-		if iv.End < 0 {
-			continue
-		}
 		row := rows[iv.Job]
 		frac := float64(iv.Threads) / float64(hwThreads)
 		if frac > 1 {
@@ -66,11 +73,24 @@ func (r *Recorder) WriteSVG(w io.Writer, hwThreads units.Threads) error {
 			h = 3
 		}
 		x := leftPad + int(float64(iv.Start)*scale)
+		y := topPad + row*rowHeight + (barMax - h)
+		if iv.Open() {
+			// Still-running offload: bar runs to the chart edge, drawn
+			// half-transparent with a dashed outline so a mid-run snapshot
+			// is visually distinct from a closed bar.
+			bw := width - 10 - x
+			if bw < 1 {
+				bw = 1
+			}
+			fmt.Fprintf(&sb,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.45" stroke="%s" stroke-dasharray="4,3"><title>%s: %v threads, started %.2fs (still running)</title></rect>`+"\n",
+				x, y, bw, h, colorFor(row), colorFor(row), escapeXML(iv.Job), iv.Threads, iv.Start.Seconds())
+			continue
+		}
 		bw := int(float64(iv.Duration()) * scale)
 		if bw < 1 {
 			bw = 1
 		}
-		y := topPad + row*rowHeight + (barMax - h)
 		fill := colorFor(row)
 		if !iv.Completed {
 			fill = "#d62728" // aborted offloads in red

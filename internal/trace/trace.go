@@ -33,6 +33,31 @@ func (iv Interval) Duration() units.Tick {
 	return iv.End - iv.Start
 }
 
+// Open reports whether the offload is still running (no end recorded).
+func (iv Interval) Open() bool { return iv.End < 0 }
+
+// State labels the interval: "running" while open, then "completed" or
+// "aborted". This is the explicit open-end marker in CSV/JSON exports —
+// consumers should not have to know that End == -1 means in flight.
+func (iv Interval) State() string {
+	switch {
+	case iv.Open():
+		return "running"
+	case iv.Completed:
+		return "completed"
+	}
+	return "aborted"
+}
+
+// MarshalJSON adds the derived state field to the export.
+func (iv Interval) MarshalJSON() ([]byte, error) {
+	type alias Interval // drops the method set, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		State string `json:"state"`
+	}{alias(iv), iv.State()})
+}
+
 // Recorder collects offload intervals from one device. It implements
 // phi.TraceSink.
 type Recorder struct {
@@ -102,7 +127,7 @@ func (r *Recorder) End() units.Tick {
 // WriteCSV emits the intervals as CSV with a header row.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"job", "start_ms", "end_ms", "threads", "completed"}); err != nil {
+	if err := cw.Write([]string{"job", "start_ms", "end_ms", "threads", "completed", "state"}); err != nil {
 		return err
 	}
 	for _, iv := range r.Intervals() {
@@ -112,6 +137,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(int64(iv.End), 10),
 			strconv.Itoa(int(iv.Threads)),
 			strconv.FormatBool(iv.Completed),
+			iv.State(),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -87,11 +87,60 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("csv lines: %v", lines)
 	}
-	if lines[0] != "job,start_ms,end_ms,threads,completed" {
+	if lines[0] != "job,start_ms,end_ms,threads,completed,state" {
 		t.Errorf("header %q", lines[0])
 	}
-	if lines[1] != "A,0,1000,240,true" {
+	if lines[1] != "A,0,1000,240,true,completed" {
 		t.Errorf("row %q", lines[1])
+	}
+}
+
+// TestExportOpenInterval: an in-flight offload exports with End == -1 and an
+// explicit "running" marker in both CSV and JSON, and an aborted one is
+// labelled "aborted".
+func TestExportOpenInterval(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "done", 240)
+	r.OffloadEnded(1000, "done", true)
+	r.OffloadStarted(500, "dead", 60)
+	r.OffloadEnded(800, "dead", false)
+	r.OffloadStarted(2000, "flying", 120)
+
+	var csvBuf bytes.Buffer
+	if err := r.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[2] != "dead,500,800,60,false,aborted" {
+		t.Errorf("aborted row %q", lines[2])
+	}
+	if lines[3] != "flying,2000,-1,120,false,running" {
+		t.Errorf("open row %q", lines[3])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := r.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Job   string `json:"job"`
+		End   int64  `json:"end_ms"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	want := map[string]string{"done": "completed", "dead": "aborted", "flying": "running"}
+	for _, iv := range out {
+		if iv.State != want[iv.Job] {
+			t.Errorf("%s state %q, want %q", iv.Job, iv.State, want[iv.Job])
+		}
+	}
+	if out[2].End != -1 {
+		t.Errorf("open interval end %d, want -1", out[2].End)
 	}
 }
 
@@ -233,6 +282,46 @@ func TestWriteSVG(t *testing.T) {
 	}
 	if strings.Count(out, "<rect") < 3 { // background + 2 bars
 		t.Errorf("SVG rect count too low:\n%s", out)
+	}
+}
+
+// TestWriteSVGOpenInterval: a mid-run snapshot with an in-flight offload
+// renders the open bar (dashed, to the chart edge) instead of dropping it.
+func TestWriteSVGOpenInterval(t *testing.T) {
+	r := NewRecorder()
+	r.OffloadStarted(0, "closed", 240)
+	r.OffloadEnded(3000, "closed", true)
+	r.OffloadStarted(4000, "inflight", 120) // still running, past the last close
+	var buf bytes.Buffer
+	if err := r.WriteSVG(&buf, 240); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"inflight", "still running", `stroke-dasharray`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 3 { // background + closed bar + open bar
+		t.Errorf("open interval dropped:\n%s", out)
+	}
+	// The axis must stretch to cover the open interval's start.
+	if !strings.Contains(out, "4.0 s") && !strings.Contains(out, "(2 jobs, 4.0 s)") {
+		t.Errorf("axis does not cover open interval:\n%s", out)
+	}
+
+	// Open-only recorder: must still render, not emit the empty placeholder.
+	r2 := NewRecorder()
+	r2.OffloadStarted(0, "solo", 60)
+	var buf2 bytes.Buffer
+	if err := r2.WriteSVG(&buf2, 240); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "no offload activity") {
+		t.Error("open-only recorder rendered as empty")
+	}
+	if !strings.Contains(buf2.String(), "solo") {
+		t.Error("open-only bar missing")
 	}
 }
 
