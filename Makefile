@@ -16,7 +16,12 @@ BENCH_LABEL ?= after
 # documents the cost of full instrumentation).
 BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan|BenchmarkObsOverhead)$$
 
-.PHONY: build vet test race bench ci
+# The chaos gate's sweep width: seeds per (policy, profile) cell. The full
+# acceptance sweep is 50; CI runs a shorter one under -race to keep the gate
+# fast. Override with `make chaos CHAOS_SEEDS=50`.
+CHAOS_SEEDS ?= 15
+
+.PHONY: build vet test race bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -34,4 +39,11 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -count 1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)
 
-ci: vet build race
+# Fault-injection invariant swarm (see internal/faults): CHAOS_SEEDS seeds ×
+# {MC, MCC, MCCK} × {light, heavy} under the invariant checker and the race
+# detector. A failure prints a reproducible (seed, profile, policy) triple.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count 1 \
+		-run '^TestInvariantSwarm$$' ./internal/experiments
+
+ci: vet build race chaos

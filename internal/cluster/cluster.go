@@ -114,6 +114,27 @@ func (u *DeviceUnit) Detach(p *phi.Process) {
 	u.Device.Detach(p)
 }
 
+// Fail injects a whole-device failure: every resident process dies with
+// reason, and attaches are rejected until Repair. The COSMIC manager (when
+// present) is immediately recovered so queued work for dead processes is
+// flushed rather than stranded. Returns the number of processes evicted.
+func (u *DeviceUnit) Fail(reason phi.KillReason) int {
+	n := u.Device.Fail(reason)
+	if u.Cosmic != nil {
+		u.Cosmic.Recover()
+	}
+	return n
+}
+
+// Repair brings a failed device back into service and re-runs COSMIC
+// admission for anything that queued up while it was down.
+func (u *DeviceUnit) Repair() {
+	u.Device.Repair()
+	if u.Cosmic != nil {
+		u.Cosmic.Recover()
+	}
+}
+
 // Node is one compute server.
 type Node struct {
 	Name    string

@@ -98,6 +98,11 @@ type QueuedJob struct {
 	Crashes    int
 	Machine    *Machine // current/last machine
 	started    bool
+	// runStart is when the job's *current* execution began. StartTime keeps
+	// first-start semantics for wait/response metrics; fair-share usage must
+	// accrue per run, or a crashed-and-resubmitted job would charge its first
+	// run's interval (plus the idle re-queue gap) to its user twice.
+	runStart units.Tick
 }
 
 // Machine is one advertised slot: a device unit plus its ClassAd and the
@@ -114,6 +119,11 @@ type Machine struct {
 	MaxResident     int
 	// HostSlots is the machine's resident-job capacity (from Config).
 	HostSlots int
+	// Offline marks a lost node: the negotiator skips it entirely (its
+	// startd stopped advertising). Set and cleared by the fault layer; a
+	// machine going offline does not by itself evict residents — the device
+	// failure that accompanies a node loss does that.
+	Offline bool
 }
 
 // AtCapacity reports whether every host slot is claimed.
@@ -251,6 +261,20 @@ type Stats struct {
 	Resubmits    int
 	Stalled      int // jobs failed by the stall breaker
 	ClaimReuses  int // dispatches that skipped negotiation (Config.ClaimReuse)
+	// NegotiationRestarts counts cycles aborted and rescheduled by an
+	// injected negotiator fault (NegotiationFaults.CycleRestart).
+	NegotiationRestarts int
+}
+
+// NegotiationFaults lets the fault layer (internal/faults) perturb the
+// negotiator: TriggerDelay returns extra latency added to each negotiation
+// trigger (collector update jitter), and CycleRestart is consulted at the
+// top of each cycle — returning ok=true aborts the cycle and reschedules it
+// after the returned delay (a negotiator crash/restart). A nil Pool.NegFaults
+// disables both, costing one nil check per trigger and cycle.
+type NegotiationFaults interface {
+	TriggerDelay() units.Tick
+	CycleRestart() (units.Tick, bool)
 }
 
 // Pool is the Condor pool: central manager plus the machine inventory.
@@ -292,6 +316,9 @@ type Pool struct {
 	// Failed — the hook external tooling (e.g. the resource estimator
 	// extension) uses to observe outcomes as they happen.
 	OnTerminal func(*QueuedJob)
+	// NegFaults, if set, injects negotiator perturbations (see
+	// NegotiationFaults). Nil in every non-chaos run.
+	NegFaults NegotiationFaults
 	// Log, if set, records job lifecycle events (HTCondor's user log).
 	Log *EventLog
 
@@ -408,6 +435,9 @@ func (p *Pool) Jobs() []*QueuedJob { return p.jobs }
 // Stats returns activity counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// Policy returns the installed scheduling policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
 // Makespan is the completion time of the last terminal job.
 func (p *Pool) Makespan() units.Tick { return p.makespan }
 
@@ -481,6 +511,9 @@ func (p *Pool) requestNegotiation(delay units.Tick) {
 	if ext, ok := p.policy.(ExternalPolicy); ok {
 		delay += ext.ExtraDelay()
 	}
+	if p.NegFaults != nil {
+		delay += p.NegFaults.TriggerDelay()
+	}
 	at := p.eng.Now() + delay
 	if p.negScheduled && p.nextNegAt <= at {
 		return
@@ -501,6 +534,19 @@ func (p *Pool) requestNegotiation(delay units.Tick) {
 // negotiate runs one matchmaking cycle: policy pre-hook, FIFO scan of
 // pending jobs against machine ads, claims and dispatches, policy post-hook.
 func (p *Pool) negotiate() {
+	if p.NegFaults != nil {
+		if delay, restart := p.NegFaults.CycleRestart(); restart {
+			// Negotiator died at cycle start: nothing was matched, the cycle
+			// re-runs after the restart delay.
+			p.stats.NegotiationRestarts++
+			if p.obs != nil {
+				p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_restart",
+					obs.F("delay_ms", delay))
+			}
+			p.requestNegotiation(delay)
+			return
+		}
+	}
 	p.stats.Negotiations++
 	p.obsNeg.Inc()
 	if p.obs != nil {
@@ -534,8 +580,9 @@ func (p *Pool) negotiate() {
 		candidates := p.candScratch[:0]
 		for _, m := range p.machines {
 			// A machine with no free host slot cannot accept any job,
-			// whatever the ads say: the starter has nowhere to run.
-			if m.AtCapacity() {
+			// whatever the ads say: the starter has nowhere to run. An
+			// offline machine's startd is not advertising at all.
+			if m.Offline || m.AtCapacity() {
 				continue
 			}
 			if p.match(m, q) {
@@ -568,7 +615,10 @@ func (p *Pool) negotiate() {
 			obs.F("pending", len(p.pending)))
 	}
 
-	if matched == 0 && p.inFlight == 0 {
+	if matched == 0 && p.inFlight == 0 && !p.anyOffline() {
+		// An empty cycle while a node is down is not evidence of an
+		// unmatchable job — the repair may make it matchable again — so it
+		// does not count toward the stall limit.
 		p.emptyCycles++
 	} else {
 		p.emptyCycles = 0
@@ -599,6 +649,25 @@ func (p *Pool) negotiate() {
 	}
 }
 
+// anyOffline reports whether any machine is currently marked Offline.
+func (p *Pool) anyOffline() bool {
+	for _, m := range p.machines {
+		if m.Offline {
+			return true
+		}
+	}
+	return false
+}
+
+// PokeNegotiation requests a negotiation cycle after the standard notify
+// delay. The fault layer calls it when a repaired node comes back, so idle
+// jobs do not wait out the full periodic cycle to rediscover it.
+func (p *Pool) PokeNegotiation() {
+	if len(p.pending) > 0 {
+		p.requestNegotiation(p.cfg.NotifyDelay)
+	}
+}
+
 // claim reserves the machine's advertised resources and dispatches the job
 // through the shadow/starter path.
 func (p *Pool) claim(q *QueuedJob, m *Machine) {
@@ -626,6 +695,7 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 			q.started = true
 			q.StartTime = p.eng.Now()
 		}
+		q.runStart = p.eng.Now()
 		p.record(EventExecute, q, m.Name)
 		runner.Run(p.eng, m.Unit, q.Job, func(r runner.Result) {
 			p.jobDone(q, m, r)
@@ -635,7 +705,7 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 
 // jobDone releases the claim and either retires or resubmits the job.
 func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
-	p.usage[q.User] += p.eng.Now() - q.StartTime
+	p.usage[q.User] += p.eng.Now() - q.runStart
 	m.FreeMem += q.Job.Mem
 	m.ResidentThreads -= q.Job.Threads
 	for i, x := range m.Resident {
@@ -681,7 +751,7 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 // reuseClaim hands the vacated machine to the first pending job that
 // matches it, skipping the negotiation round trip (Condor claim leasing).
 func (p *Pool) reuseClaim(m *Machine) {
-	if m.AtCapacity() {
+	if m.Offline || m.AtCapacity() {
 		return
 	}
 	for i, q := range p.pending {

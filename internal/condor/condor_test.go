@@ -739,3 +739,42 @@ func TestEventLogCSVRoundTrip(t *testing.T) {
 		t.Error("ReadCSV accepted a bad header")
 	}
 }
+
+func TestUsageSingleChargeAcrossResubmit(t *testing.T) {
+	// Regression: fair-share usage was accrued from the job's *first* start
+	// on every completion or crash, so a crashed-and-resubmitted job charged
+	// its earlier runs (and the idle re-queue gaps between them) again on
+	// each subsequent run. Usage must equal the sum of the job's actual
+	// execution intervals, reconstructed here from the event log.
+	eng := sim.New()
+	eng.MaxSteps = 10_000_000
+	clu := cluster.New(eng, cluster.Config{Nodes: 1, UseCosmic: true, Seed: 1})
+	pool := condor.NewPool(eng, clu, scheduler.NewRandomPack(rng.New(7)),
+		condor.Config{MaxRetries: 2})
+	pool.Log = condor.NewEventLog()
+	liar := mkJob(0, 500, 60, 2)
+	liar.ActualPeakMem = 900 // container-killed at first offload, every run
+	pool.SubmitAs("alice", []*job.Job{liar}, 0)
+	eng.Run()
+	if !pool.Done() {
+		t.Fatal("pool not done after engine drained")
+	}
+	q := pool.Jobs()[0]
+	if q.Crashes < 2 {
+		t.Fatalf("job crashed %d times; test needs at least two runs", q.Crashes)
+	}
+
+	var want units.Tick
+	var lastExec units.Tick
+	for _, e := range pool.Log.JobHistory(0) {
+		switch e.Kind {
+		case condor.EventExecute:
+			lastExec = e.At
+		case condor.EventCrash, condor.EventTerminate:
+			want += e.At - lastExec
+		}
+	}
+	if got := pool.Usage("alice"); got != want {
+		t.Errorf("usage %v != %v summed from the job's execution intervals", got, want)
+	}
+}

@@ -300,6 +300,11 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 
 // packDevice packs one device's knapsack from the candidate jobs.
 func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*condor.QueuedJob) []*condor.QueuedJob {
+	if m.Offline {
+		// A lost node must not receive plan pins: the pinned jobs would sit
+		// unmatchable until it comes back (the negotiator skips it too).
+		return nil
+	}
 	memBudget := m.FreeMem
 	slotBudget := m.FreeSlots()
 	if memBudget <= 0 || slotBudget <= 0 {

@@ -166,8 +166,9 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 	if j.Mem > m.dev.Config().Memory {
 		// The declared limit exceeds physical device memory: the container
 		// cannot be created at all. Fail the job immediately rather than
-		// let it wait for capacity that can never exist.
-		p := m.dev.Attach(j)
+		// let it wait for capacity that can never exist. The reject must not
+		// attach first — even a transient commit of the doomed job's memory
+		// could push the device over and OOM-kill an innocent co-resident.
 		m.stats.ContainerKills++
 		m.obsKills.Inc()
 		if m.obs != nil {
@@ -175,8 +176,7 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 				obs.F("device", m.dev.ID), obs.F("job", j.ID),
 				obs.F("declared_mb", j.Mem), obs.F("device_mb", m.dev.Config().Memory))
 		}
-		m.dev.Kill(p, phi.KillContainer)
-		ready(p)
+		ready(m.dev.FailAttach(j, phi.KillContainer))
 		return
 	}
 	if len(m.admitQ) == 0 && j.Mem <= m.DeclaredFree() {
@@ -249,6 +249,16 @@ func (m *Manager) Detach(p *phi.Process) {
 	m.pumpAdmits()
 }
 
+// Recover re-runs dispatch and memory admission after an externally caused
+// process death (a whole-device failure or an injected offload fault). The
+// host-side runner only detaches on successful completion, so without this
+// nudge the capacity freed by a mass kill stays stranded until the next
+// natural completion — possibly forever, if the kill emptied the device.
+func (m *Manager) Recover() {
+	m.pump()
+	m.pumpAdmits()
+}
+
 // Offload submits an offload for p. It dispatches immediately when the
 // device has enough free hardware threads; otherwise it queues. done fires
 // exactly once: OffloadCompleted on success, OffloadAborted if the process
@@ -276,10 +286,13 @@ func (m *Manager) Offload(p *phi.Process, threads units.Threads, work units.Tick
 	}
 	req := &request{proc: p, threads: threads, work: work, done: done, enqueued: m.eng.Now()}
 	m.queue = append(m.queue, req)
+	m.pump()
+	// Record queue depth only after the pump: an offload that dispatches
+	// immediately on an idle device never waited, so it must not count
+	// toward the peak.
 	if len(m.queue) > m.stats.MaxQueueLen {
 		m.stats.MaxQueueLen = len(m.queue)
 	}
-	m.pump()
 	if !dispatched(req, m.queue) {
 		req.waited = true
 		m.stats.OffloadsQueued++

@@ -338,3 +338,51 @@ func TestDeclaredFreeAccounting(t *testing.T) {
 		t.Errorf("DeclaredFree after detach %v", m.DeclaredFree())
 	}
 }
+
+func TestOversizedAdmitDoesNotDisturbTenants(t *testing.T) {
+	// Regression: the oversized fail-fast path used to attach the doomed
+	// job before killing it. The transient 30% initial commit could push
+	// the device past physical memory and OOM-kill an innocent co-resident.
+	// The reject must never touch device memory.
+	eng := sim.New()
+	m := newMgr(eng)
+	honest := m.Attach(mkJob(1, 7000, 6300, 60))
+	var honestOutcome phi.OffloadOutcome = -1
+	m.Offload(honest, 60, 1000, func(o phi.OffloadOutcome) { honestOutcome = o })
+
+	var killed phi.KillReason = -1
+	m.Admit(mkJob(2, 9000, 9000, 60), func(p *phi.Process) {
+		if p.Alive() {
+			t.Error("oversized job admitted alive")
+		}
+		p.OnKill = func(r phi.KillReason) { killed = r }
+	})
+	eng.Run()
+
+	if honestOutcome != phi.OffloadCompleted {
+		t.Errorf("honest tenant outcome %v, want completed", honestOutcome)
+	}
+	if n := m.Device().Stats().OOMKills; n != 0 {
+		t.Errorf("device OOM killer fired %d times during an oversized reject", n)
+	}
+	if killed != phi.KillContainer {
+		t.Errorf("oversized job kill reason %v, want container", killed)
+	}
+	if m.Stats().ContainerKills != 1 {
+		t.Errorf("stats %+v, want 1 container kill", m.Stats())
+	}
+}
+
+func TestMaxQueueLenIgnoresImmediateDispatch(t *testing.T) {
+	// Regression: MaxQueueLen was bumped before pump ran, so an offload
+	// that dispatched immediately on an idle device counted as having
+	// queued. A never-contended device must report a zero peak.
+	eng := sim.New()
+	m := newMgr(eng)
+	p := m.Attach(mkJob(1, 500, 450, 240))
+	m.Offload(p, 240, 1000, func(phi.OffloadOutcome) {})
+	eng.Run()
+	if n := m.Stats().MaxQueueLen; n != 0 {
+		t.Errorf("MaxQueueLen = %d after an uncontended offload, want 0", n)
+	}
+}

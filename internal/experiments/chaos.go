@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phishare/internal/condor"
+	"phishare/internal/faults"
+	"phishare/internal/job"
+	"phishare/internal/rng"
+)
+
+// ChaosConfig describes one invariant swarm: Seeds consecutive seeds
+// starting at Seed0, each run through every policy × fault profile under
+// the invariant checker. The (seed, profile, policy) triple printed for a
+// failure is a complete reproduction recipe given the same ChaosConfig
+// workload parameters (Jobs, Nodes, Retries) — ChaosRun replays one triple.
+type ChaosConfig struct {
+	// Seeds is the number of seeds swept (default 50).
+	Seeds int
+	// Seed0 is the first seed (default 1).
+	Seed0 int64
+	// Policies to sweep (default MC, MCC, MCCK).
+	Policies []string
+	// Profiles to sweep (default the built-in light and heavy profiles).
+	Profiles []faults.Profile
+	// Jobs is the Table I workload size per run (default 18).
+	Jobs int
+	// Nodes is the cluster size per run (default 3: small enough that
+	// faults bite, large enough that the cluster can route around them).
+	Nodes int
+	// Retries is the crash retry budget (default 4; chaos runs need
+	// headroom for injected crashes, or every fault cascades into a
+	// Failed job and nothing exercises the resubmit path).
+	Retries int
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Seeds == 0 {
+		c.Seeds = 50
+	}
+	if c.Seed0 == 0 {
+		c.Seed0 = 1
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = Policies()
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = faults.Profiles()
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 18
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Retries == 0 {
+		c.Retries = 4
+	}
+	return c
+}
+
+// ChaosFailure is one failed run of the swarm.
+type ChaosFailure struct {
+	Seed       int64
+	Profile    string
+	Policy     string
+	Violations []string
+	// Panic carries a recovered run panic (e.g. a drained engine with jobs
+	// outstanding), which the swarm reports as a failure rather than dying.
+	Panic string
+}
+
+func (f ChaosFailure) String() string {
+	s := fmt.Sprintf("FAIL seed=%d profile=%s policy=%s", f.Seed, f.Profile, f.Policy)
+	if f.Panic != "" {
+		s += fmt.Sprintf("\n  panic: %s", f.Panic)
+	}
+	for _, v := range f.Violations {
+		s += "\n  " + v
+	}
+	return s
+}
+
+// ChaosRun executes one (seed, profile, policy) cell under the invariant
+// checker and returns its violations (nil when clean). Panics propagate to
+// the caller.
+func ChaosRun(c ChaosConfig, seed int64, prof faults.Profile, policy string) []string {
+	c = c.withDefaults()
+	h := &faults.Harness{Profile: prof, Seed: seed, Check: true}
+	Run(RunConfig{
+		Policy: policy,
+		Nodes:  c.Nodes,
+		Jobs:   job.GenerateTableOneSet(c.Jobs, rng.New(seed).Fork("tableI")),
+		Seed:   seed,
+		Condor: condor.Config{MaxRetries: c.Retries},
+		Chaos:  h,
+	})
+	return h.Finish()
+}
+
+// ChaosSwarm sweeps the full seed × profile × policy grid and returns every
+// failure. Runs are sequential and deterministic: the same config always
+// produces the same failures in the same order.
+func ChaosSwarm(c ChaosConfig) []ChaosFailure {
+	c = c.withDefaults()
+	logf := c.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var failures []ChaosFailure
+	runs := 0
+	for i := 0; i < c.Seeds; i++ {
+		seed := c.Seed0 + int64(i)
+		for _, prof := range c.Profiles {
+			for _, policy := range c.Policies {
+				runs++
+				violations, panicMsg := chaosRunSafe(c, seed, prof, policy)
+				if len(violations) > 0 || panicMsg != "" {
+					f := ChaosFailure{Seed: seed, Profile: prof.Name, Policy: policy,
+						Violations: violations, Panic: panicMsg}
+					failures = append(failures, f)
+					logf("%s", f)
+				}
+			}
+		}
+		if (i+1)%10 == 0 {
+			logf("chaos: %d/%d seeds swept, %d runs, %d failures",
+				i+1, c.Seeds, runs, len(failures))
+		}
+	}
+	logf("chaos: done — %d runs, %d failures", runs, len(failures))
+	return failures
+}
+
+// chaosRunSafe is ChaosRun with panic capture, so one broken cell fails its
+// triple instead of killing the whole swarm.
+func chaosRunSafe(c ChaosConfig, seed int64, prof faults.Profile, policy string) (violations []string, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return ChaosRun(c, seed, prof, policy), ""
+}

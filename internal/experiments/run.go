@@ -10,6 +10,7 @@ import (
 	"phishare/internal/cluster"
 	"phishare/internal/condor"
 	"phishare/internal/core"
+	"phishare/internal/faults"
 	"phishare/internal/job"
 	"phishare/internal/metrics"
 	"phishare/internal/obs"
@@ -76,6 +77,12 @@ type RunConfig struct {
 	// EventLog, if non-nil, receives the pool's job lifecycle events
 	// (HTCondor's user log; see condor.EventLog).
 	EventLog *condor.EventLog
+	// Chaos, if non-nil, wires the fault-injection and invariant layer into
+	// the run (see faults.Harness). A harness with a zero Profile and
+	// Check=false is equivalent to nil; with Check=true but no faults the
+	// run's outcomes stay bit-identical to an unchecked run
+	// (TestChaosDisabledPreservesOutcomes).
+	Chaos *faults.Harness
 }
 
 // usesCosmic resolves the node middleware choice.
@@ -149,6 +156,10 @@ func Run(cfg RunConfig) Result {
 	pool.Log = cfg.EventLog
 	if cfg.Obs != nil {
 		wireObservability(cfg.Obs, eng, pool, pol, clu)
+	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.Obs = cfg.Obs
+		cfg.Chaos.Wire(eng, clu, pool)
 	}
 	pool.Submit(cfg.Jobs)
 	eng.Run()

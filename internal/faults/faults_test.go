@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"testing"
+
+	"phishare/internal/cluster"
+	"phishare/internal/condor"
+	"phishare/internal/job"
+	"phishare/internal/rng"
+	"phishare/internal/scheduler"
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// mkJob builds an honest job: one host second, then one long offload.
+func mkJob(id int, mem units.MB, threads units.Threads, offload units.Tick) *job.Job {
+	return &job.Job{
+		ID: id, Name: "j", Workload: "test",
+		Mem: mem, Threads: threads, ActualPeakMem: units.MB(float64(mem) * 0.9),
+		Phases: []job.Phase{
+			{Kind: job.HostPhase, Duration: 1 * units.Second},
+			{Kind: job.OffloadPhase, Duration: offload, Threads: threads},
+		},
+	}
+}
+
+type rig struct {
+	eng  *sim.Engine
+	clu  *cluster.Cluster
+	pool *condor.Pool
+}
+
+func newRig(nodes, retries int) *rig {
+	eng := sim.New()
+	eng.MaxSteps = 10_000_000
+	clu := cluster.New(eng, cluster.Config{Nodes: nodes, UseCosmic: true, Seed: 1})
+	pool := condor.NewPool(eng, clu, scheduler.NewRandomPack(rng.New(5)),
+		condor.Config{MaxRetries: retries})
+	return &rig{eng: eng, clu: clu, pool: pool}
+}
+
+// TestScriptedDeviceFailureLifecycle injects an exactly-timed device failure
+// under a running job and asserts the complete crash/resubmit event
+// sequence: Submit → Match → Execute → Crash → Resubmit (repeated while the
+// device is down) → Match → Execute → Terminate, with the invariant checker
+// clean throughout.
+func TestScriptedDeviceFailureLifecycle(t *testing.T) {
+	r := newRig(1, 5)
+	h := &Harness{
+		Profile: Profile{
+			Name: "scripted",
+			Script: []DeviceFault{
+				{Slot: "slot1@node0", At: 5 * units.Second, Repair: 10 * units.Second},
+			},
+		},
+		Seed:  1,
+		Check: true,
+	}
+	h.Wire(r.eng, r.clu, r.pool)
+	r.pool.Submit([]*job.Job{mkJob(0, 500, 60, 20*units.Second)})
+	r.eng.Run()
+
+	if !r.pool.Done() {
+		t.Fatal("pool not done after engine drained")
+	}
+	if v := h.Finish(); len(v) != 0 {
+		t.Fatalf("invariant violations under scripted failure:\n%v", v)
+	}
+	q := r.pool.Jobs()[0]
+	if q.State != condor.Completed {
+		t.Fatalf("job state %v, want completed after device repair", q.State)
+	}
+	if q.Crashes == 0 {
+		t.Fatal("job never crashed: the scripted failure missed it")
+	}
+	if s := h.InjectorStats(); s.DeviceFailures != 1 || s.Repairs != 1 || s.Evictions != 1 {
+		t.Errorf("injector stats %+v, want 1 failure, 1 repair, 1 eviction", s)
+	}
+
+	// The full lifecycle: the first run is cut down by the failure, every
+	// retry while the device is down dies on arrival, the run after the
+	// repair completes.
+	var kinds []condor.EventKind
+	for _, e := range r.pool.Log.JobHistory(0) {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []condor.EventKind{condor.EventSubmit}
+	for i := 0; i < q.Crashes; i++ {
+		want = append(want, condor.EventMatch, condor.EventExecute,
+			condor.EventCrash, condor.EventResubmit)
+	}
+	want = append(want, condor.EventMatch, condor.EventExecute, condor.EventTerminate)
+	if len(kinds) != len(want) {
+		t.Fatalf("event sequence %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (full: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	// The first crash lands exactly at the scripted failure time.
+	for _, e := range r.pool.Log.JobHistory(0) {
+		if e.Kind == condor.EventCrash {
+			if e.At != 5*units.Second {
+				t.Errorf("first crash at %v, want %v", e.At, 5*units.Second)
+			}
+			break
+		}
+	}
+}
+
+// TestMTBFInjectionRunsClean drives a stochastic device-failure process
+// over a small workload and asserts faults actually fired, repairs landed,
+// and every invariant held to the end.
+func TestMTBFInjectionRunsClean(t *testing.T) {
+	r := newRig(2, 8)
+	h := &Harness{
+		Profile: Profile{
+			Name:         "aggressive",
+			DeviceMTBF:   8 * units.Second,
+			DeviceRepair: 3 * units.Second,
+		},
+		Seed:  7,
+		Check: true,
+	}
+	h.Wire(r.eng, r.clu, r.pool)
+	var jobs []*job.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, mkJob(i, 500, 60, 10*units.Second))
+	}
+	r.pool.Submit(jobs)
+	r.eng.Run()
+
+	if !r.pool.Done() {
+		t.Fatal("pool not done after engine drained")
+	}
+	if v := h.Finish(); len(v) != 0 {
+		t.Fatalf("invariant violations under MTBF injection:\n%v", v)
+	}
+	s := h.InjectorStats()
+	if s.DeviceFailures == 0 {
+		t.Error("no device failures injected despite an 8s MTBF")
+	}
+	if s.Repairs != s.DeviceFailures {
+		t.Errorf("repairs %d != failures %d (a repair chain was dropped)",
+			s.Repairs, s.DeviceFailures)
+	}
+}
+
+// TestCheckerCatchesCorruption corrupts machine bookkeeping mid-run and
+// asserts the per-event checker flags it — proof the swarm's green runs
+// mean something.
+func TestCheckerCatchesCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(p *condor.Pool)
+	}{
+		{"negative free memory", func(p *condor.Pool) {
+			p.Machines()[0].FreeMem = -5
+		}},
+		{"negative resident threads", func(p *condor.Pool) {
+			p.Machines()[0].ResidentThreads = -1
+		}},
+		{"phantom resident job", func(p *condor.Pool) {
+			m := p.Machines()[0]
+			m.Resident = append(m.Resident, &condor.QueuedJob{Job: mkJob(99, 100, 10, units.Second)})
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(1, 0)
+			h := &Harness{Check: true}
+			h.Wire(r.eng, r.clu, r.pool)
+			r.eng.After(2500, func() { tc.corrupt(r.pool) })
+			r.pool.Submit([]*job.Job{mkJob(0, 500, 60, 5*units.Second)})
+			r.eng.Run()
+			if len(h.Violations()) == 0 {
+				t.Error("checker missed the corruption")
+			}
+		})
+	}
+}
+
+// TestProfilePresets pins the built-in profiles' enablement and lookup.
+func TestProfilePresets(t *testing.T) {
+	if (Profile{}).Enabled() {
+		t.Error("zero profile reports enabled")
+	}
+	for _, name := range []string{"light", "heavy"} {
+		p, ok := ProfileByName(name)
+		if !ok || !p.Enabled() || p.Name != name {
+			t.Errorf("ProfileByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if p, ok := ProfileByName("none"); !ok || p.Enabled() {
+		t.Errorf("ProfileByName(none) = %+v, %v, want disabled profile", p, ok)
+	}
+	if _, ok := ProfileByName("bogus"); ok {
+		t.Error("ProfileByName accepted an unknown name")
+	}
+	if len(Profiles()) < 2 {
+		t.Errorf("Profiles() = %d entries, want at least light and heavy", len(Profiles()))
+	}
+}
+
+// TestZeroHarnessWiresNothing: a harness with no profile and no checker
+// must leave the stack untouched.
+func TestZeroHarnessWiresNothing(t *testing.T) {
+	r := newRig(1, 0)
+	h := &Harness{}
+	h.Wire(r.eng, r.clu, r.pool)
+	if r.eng.AfterStep != nil {
+		t.Error("zero harness installed an AfterStep hook")
+	}
+	if r.pool.NegFaults != nil {
+		t.Error("zero harness installed a negotiation fault hook")
+	}
+	if h.Finish() != nil || h.Violations() != nil {
+		t.Error("zero harness reported violations")
+	}
+	if h.InjectorStats() != (Stats{}) {
+		t.Error("zero harness counted injections")
+	}
+}

@@ -13,6 +13,7 @@ const (
 	LayerCore   = "core"
 	LayerCosmic = "cosmic"
 	LayerPhi    = "phi"
+	LayerFaults = "faults"
 )
 
 // DefaultSampleInterval is the time-series sampling period used when an

@@ -129,6 +129,14 @@ const (
 	KillContainer
 	// KillDetach: the owner detached the process.
 	KillDetach
+	// KillDeviceFailure: the whole device failed (card reset, node loss);
+	// every resident process dies. Injected by the fault layer
+	// (internal/faults).
+	KillDeviceFailure
+	// KillOffloadFault: a transient offload failure (COI transport error,
+	// kernel fault) took the process down mid-run. Injected by the fault
+	// layer.
+	KillOffloadFault
 )
 
 func (k KillReason) String() string {
@@ -139,6 +147,10 @@ func (k KillReason) String() string {
 		return "container"
 	case KillDetach:
 		return "detach"
+	case KillDeviceFailure:
+		return "device-failure"
+	case KillOffloadFault:
+		return "offload-fault"
 	}
 	return fmt.Sprintf("KillReason(%d)", int(k))
 }
@@ -184,6 +196,11 @@ type Stats struct {
 	OffloadsAborted   int
 	ProcessesAttached int
 	OOMKills          int
+	// Failures counts whole-device failures (Fail); AttachRejects counts
+	// processes that were dead on arrival because the attach was rejected
+	// (device down, or an impossible container) without committing memory.
+	Failures      int
+	AttachRejects int
 }
 
 // Device is one simulated coprocessor.
@@ -205,6 +222,9 @@ type Device struct {
 
 	procs    map[*Process]bool
 	offloads []*offload
+	// down marks a failed device (Fail/Repair): attaches are rejected dead
+	// on arrival until the repair lands.
+	down bool
 	// warmThreads is the combined declared thread count of processes whose
 	// worker pools exist (see Config.SpinContention).
 	warmThreads units.Threads
@@ -293,8 +313,12 @@ func (d *Device) CommittedMemory() units.MB {
 // Attach creates a COI process for j. Like real MPSS, it performs no
 // admission control: memory pressure materializes later, via the OOM model.
 // The initial commitment is a fraction of the job's eventual peak —
-// Linux does not commit memory at allocation (§II-C).
+// Linux does not commit memory at allocation (§II-C). Attaching to a failed
+// device (Fail) yields a dead-on-arrival process.
 func (d *Device) Attach(j *job.Job) *Process {
+	if d.down {
+		return d.FailAttach(j, KillDeviceFailure)
+	}
 	p := &Process{
 		Job:   j,
 		dev:   d,
@@ -305,6 +329,62 @@ func (d *Device) Attach(j *job.Job) *Process {
 	d.stats.ProcessesAttached++
 	d.checkOOM()
 	return p
+}
+
+// FailAttach rejects an attach: it returns a process that is dead on
+// arrival, with the kill notification delivered asynchronously like any
+// other kill. No memory is ever committed, so no co-resident process can be
+// disturbed — COSMIC uses this for containers that cannot be created at all
+// (declared limit above physical device memory), and Attach uses it while
+// the device is down.
+func (d *Device) FailAttach(j *job.Job, reason KillReason) *Process {
+	p := &Process{Job: j, dev: d}
+	d.stats.AttachRejects++
+	d.eng.After(0, func() {
+		if p.OnKill != nil {
+			p.OnKill(reason)
+		}
+	})
+	return p
+}
+
+// Fail marks the device failed: every resident process is killed with
+// reason (in deterministic job-ID order), and subsequent attaches are
+// rejected dead on arrival until Repair. Models a card reset or the card's
+// share of a node loss — §II-C's crash behaviour writ large. Returns the
+// number of processes evicted. Failing an already-down device only re-kills
+// whatever attached meanwhile (normally nothing).
+func (d *Device) Fail(reason KillReason) int {
+	d.down = true
+	d.stats.Failures++
+	victims := make([]*Process, 0, len(d.procs))
+	for p := range d.procs {
+		victims = append(victims, p)
+	}
+	sortProcs(victims)
+	for _, p := range victims {
+		d.terminate(p, reason)
+	}
+	return len(victims)
+}
+
+// Repair brings a failed device back: attaches succeed again. State is
+// empty by construction (Fail killed everything; attaches while down never
+// landed).
+func (d *Device) Repair() { d.down = false }
+
+// Down reports whether the device is failed (between Fail and Repair).
+func (d *Device) Down() bool { return d.down }
+
+// RunningProcs returns the owners of in-flight offloads, in offload start
+// order (deterministic). The fault layer draws transient-offload-failure
+// victims from it.
+func (d *Device) RunningProcs() []*Process {
+	ps := make([]*Process, len(d.offloads))
+	for i, o := range d.offloads {
+		ps[i] = o.proc
+	}
+	return ps
 }
 
 // Detach removes the process, releasing its memory. An in-flight offload is

@@ -100,6 +100,14 @@ type Engine struct {
 	// exceeding it panics. It is a guard against accidental event loops
 	// (e.g. a scheduler that reschedules itself at the current instant).
 	MaxSteps uint64
+	// AfterStep, if set, runs after every processed event, once the event's
+	// callback has returned. The invariant checker (internal/faults) uses it
+	// to audit conservation laws at every event boundary. The hook must be
+	// read-only with respect to simulated outcomes: it is not an event, so
+	// it consumes no sequence numbers and cannot reorder anything, but a
+	// hook that mutates component state would still corrupt the run. A nil
+	// hook costs one comparison per step.
+	AfterStep func()
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -180,6 +188,9 @@ func (e *Engine) step() {
 	fn()
 	ev.fn = nil // drop the closure so its captures can be collected
 	e.free = append(e.free, ev)
+	if e.AfterStep != nil {
+		e.AfterStep()
+	}
 }
 
 // Timer is a cancelable scheduled event. It is used by components that may
