@@ -21,13 +21,25 @@ BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|Benchm
 # fast. Override with `make chaos CHAOS_SEEDS=50`.
 CHAOS_SEEDS ?= 15
 
-.PHONY: build vet test race bench chaos ci
+.PHONY: build vet lint test race bench chaos ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# philint (cmd/philint + internal/analysis) enforces the determinism
+# contract at the source level: no math/rand outside internal/rng, no
+# wall-clock reads, no order-sensitive map iteration in sim-path packages,
+# no float equality in value comparisons, no tie-producing sort.Slice in
+# scheduling paths. Legitimate sites carry a per-line
+# `//philint:ignore <rule> <reason>` annotation. gofmt cleanliness over
+# the whole tree rides along.
+lint:
+	$(GO) run ./cmd/philint ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -46,4 +58,4 @@ chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count 1 \
 		-run '^TestInvariantSwarm$$' ./internal/experiments
 
-ci: vet build race chaos
+ci: vet build lint race chaos

@@ -28,10 +28,10 @@ func main() {
 	log.SetPrefix("phigen: ")
 
 	var (
-		wl    = flag.String("workload", "tableI", "workload: tableI, uniform, normal, low-skew, high-skew")
-		njobs = flag.Int("jobs", 400, "number of jobs")
-		seed  = flag.Int64("seed", 42, "random seed")
-		out   = flag.String("csv", "", "export a job summary as CSV to this file")
+		wl      = flag.String("workload", "tableI", "workload: tableI, uniform, normal, low-skew, high-skew")
+		njobs   = flag.Int("jobs", 400, "number of jobs")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("csv", "", "export a job summary as CSV to this file")
 		jsonOut = flag.String("json", "", "export the full job set (with phase profiles) as JSON; replayable via phisched -input")
 	)
 	flag.Parse()

@@ -1,0 +1,265 @@
+// Package analysis implements philint, the project's determinism-and-
+// simulation-hygiene analyzer suite.
+//
+// Every correctness claim this reproduction makes — bit-identical
+// MC/MCC/MCCK outcomes across the optimized paths, outcome-neutral
+// observability, replayable (seed, profile, policy) chaos triples — rests
+// on the simulation being deterministic. philint turns that contract from
+// a convention into a machine-checked CI gate: five analyzers walk the
+// module's ASTs (stdlib go/parser + go/ast only, so go.mod stays
+// dependency-free) and flag the source-level constructs that silently
+// break replayability.
+//
+// The analyzers are deliberately heuristic: without full type checking
+// they resolve types from package-local declarations (see Index), which
+// covers every hazard class this codebase exhibits while keeping the
+// tool a sub-second `go run`. A construct the analyzers cannot prove
+// safe is flagged; a reviewed-and-legitimate site is annotated in place:
+//
+//	start := time.Now() //philint:ignore wallclock harness timing, not sim state
+//
+// The directive suppresses exactly one rule on its own line (or, when
+// written on a line by itself, on the line below) and must carry a
+// reason. Unknown rules and missing reasons are themselves findings, so
+// suppressions cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical file:line: rule: message
+// form emitted by cmd/philint and matched by the golden tests.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Pass carries one package's parsed state through one analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	Index *Index
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule over a parsed package.
+type Analyzer struct {
+	// Name is the rule identifier used in findings and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces and why.
+	Doc string
+	// AppliesTo reports whether the rule is enforced in the package at the
+	// given module-relative directory (e.g. "internal/cosmic",
+	// "cmd/phibench", "." for the module root). The scoping encodes the
+	// determinism contract: some rules are module-wide, others bind only
+	// the sim-path packages.
+	AppliesTo func(rel string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// simPathPackages are the packages whose code runs under simulated time
+// and must be bit-reproducible: everything between the event engine and
+// the experiment drivers. cmd tools and offline packages (workload
+// generation, metrics aggregation, reporting) sit outside the list but
+// are still covered by the module-wide rules.
+var simPathPackages = map[string]bool{
+	"internal/sim":       true,
+	"internal/phi":       true,
+	"internal/cosmic":    true,
+	"internal/condor":    true,
+	"internal/core":      true,
+	"internal/cluster":   true,
+	"internal/faults":    true,
+	"internal/scheduler": true,
+}
+
+// SimPath reports whether rel is one of the sim-path packages.
+func SimPath(rel string) bool { return simPathPackages[rel] }
+
+// allPackages is the AppliesTo for module-wide rules.
+func allPackages(string) bool { return true }
+
+// Analyzers returns the full suite in stable (report) order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetRand,
+		WallClock,
+		MapIter,
+		FloatEq,
+		SortStable,
+	}
+}
+
+// AnalyzerNames returns the rule names accepted by ignore directives.
+func AnalyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// RunPackage applies one analyzer to one package, ignoring AppliesTo and
+// suppression directives. It is the primitive the golden tests drive.
+func RunPackage(a *Analyzer, pkg *Package) []Finding {
+	var findings []Finding
+	pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Index: pkg.Index(), findings: &findings}
+	a.Run(pass)
+	sortFindings(findings)
+	return findings
+}
+
+// Lint runs the whole suite over the packages with package scoping and
+// suppression applied: the entry point behind cmd/philint. Malformed
+// directives surface as findings under the pseudo-rule "philint".
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Index: pkg.Index(), findings: &findings}
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Rel) {
+				continue
+			}
+			a.Run(pass)
+		}
+		dirs, malformed := directives(pkg, known)
+		out = append(out, malformed...)
+		for _, f := range findings {
+			if !suppressed(f, dirs) {
+				out = append(out, f)
+			}
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// directive is one parsed //philint:ignore comment.
+type directive struct {
+	file string
+	line int
+	rule string
+}
+
+const ignorePrefix = "philint:ignore"
+
+// directives extracts the ignore directives from a package's comments and
+// reports malformed ones (unknown rule, missing reason) as findings.
+func directives(pkg *Package, known map[string]bool) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Pos: pos, Rule: "philint",
+						Message: "ignore directive names no rule (want //philint:ignore <rule> <reason>)"})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Pos: pos, Rule: "philint",
+						Message: fmt.Sprintf("ignore directive names unknown rule %q", fields[0])})
+				case len(fields) < 2:
+					bad = append(bad, Finding{Pos: pos, Rule: "philint",
+						Message: fmt.Sprintf("ignore directive for %q gives no reason", fields[0])})
+				default:
+					// A trailing directive covers its own line; a
+					// standalone one (nothing but whitespace before it)
+					// covers the line below.
+					line := pos.Line
+					if isStandalone(pkg, pos) {
+						line++
+					}
+					dirs = append(dirs, directive{file: pos.Filename, line: line, rule: fields[0]})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// isStandalone reports whether only whitespace precedes the comment on
+// its source line.
+func isStandalone(pkg *Package, pos token.Position) bool {
+	lines, ok := pkg.Lines[pos.Filename]
+	if !ok || pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	line := lines[pos.Line-1]
+	if pos.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:pos.Column-1]) == ""
+}
+
+// suppressed reports whether a directive covers the finding: same rule,
+// same file, same (resolved) line.
+func suppressed(f Finding, dirs []directive) bool {
+	for _, d := range dirs {
+		if d.rule == f.Rule && d.file == f.Pos.Filename && d.line == f.Pos.Line {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// walkFuncs calls fn for every function or method body in the file,
+// with the function's heuristic variable environment prebuilt. Function
+// literals are visited inline by the statement scanners, not separately.
+func walkFuncs(pass *Pass, file *ast.File, fn func(env *Env, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(pass.Index.FuncEnv(fd), fd.Body)
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MapIter flags `for … range` over map-typed expressions in sim-path
+// packages. Go randomizes map iteration order per run, so any observable
+// effect of the loop's order — kill order, dispatch order, even the order
+// of recorded violations — breaks replayability.
+//
+// Two loop shapes are recognized as safe and not flagged:
+//
+//   - order-insensitive bodies: pure commutative accumulation (x += v,
+//     counters, delete from the ranged map, writes keyed by the loop key),
+//     optionally wrapped in if/continue;
+//   - collect-and-sort: the body only appends the keys (or values) to a
+//     slice and a later statement in the same block sorts that slice
+//     before it is consumed.
+//
+// Anything else — appends consumed unsorted, calls with side effects,
+// early returns that pick an arbitrary element — is flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag range over maps in sim-path packages unless the body is " +
+		"order-insensitive or the keys are collected and sorted first",
+	AppliesTo: SimPath,
+	Run:       runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		walkFuncs(pass, file, func(env *Env, body *ast.BlockStmt) {
+			scanStmts(body.List, env, pass)
+		})
+	}
+}
+
+// scanStmts walks a statement list, recursing into every nested block
+// (including function literals), and checks each map range against the
+// safe shapes. The slice is passed whole so a range at index i can look
+// at the statements after it for the collect-and-sort pattern.
+func scanStmts(stmts []ast.Stmt, env *Env, pass *Pass) {
+	for i, stmt := range stmts {
+		if rs, ok := stmt.(*ast.RangeStmt); ok && env.IsMap(rs.X) {
+			checkMapRange(rs, stmts[i+1:], env, pass)
+		}
+		scanNested(stmt, env, pass)
+	}
+}
+
+// scanNested recurses into the blocks hanging off one statement.
+func scanNested(stmt ast.Stmt, env *Env, pass *Pass) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		scanStmts(s.List, env, pass)
+	case *ast.IfStmt:
+		scanStmts(s.Body.List, env, pass)
+		if s.Else != nil {
+			scanNested(s.Else, env, pass)
+		}
+	case *ast.ForStmt:
+		scanStmts(s.Body.List, env, pass)
+	case *ast.RangeStmt:
+		scanStmts(s.Body.List, env, pass)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(cc.Body, env, pass)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(cc.Body, env, pass)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanStmts(cc.Body, env, pass)
+			}
+		}
+	case *ast.LabeledStmt:
+		scanNested(s.Stmt, env, pass)
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt:
+		// Function literals can hide anywhere an expression can.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				scanStmts(fl.Body.List, env, pass)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(rs *ast.RangeStmt, following []ast.Stmt, env *Env, pass *Pass) {
+	if orderInsensitive(rs.Body.List, rs) {
+		return
+	}
+	if collectedAndSorted(rs, following) {
+		return
+	}
+	pass.Reportf("mapiter", rs.Pos(),
+		"range over map %s has nondeterministic iteration order; collect and sort the keys, "+
+			"use an insertion-ordered structure, or make the body order-insensitive",
+		exprString(rs.X))
+}
+
+// orderInsensitive reports whether every statement's effect is independent
+// of iteration order.
+func orderInsensitive(stmts []ast.Stmt, rs *ast.RangeStmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			// counters: x++ / x--
+		case *ast.AssignStmt:
+			if !commutativeAssign(s, rs) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete from the ranged map keeps the loop a pure purge.
+			if !isDeleteFromRanged(s.X, rs) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil && !commutativeAssignStmt(s.Init, rs) {
+				return false
+			}
+			if !orderInsensitive(s.Body.List, rs) {
+				return false
+			}
+			if s.Else != nil {
+				if eb, ok := s.Else.(*ast.BlockStmt); !ok || !orderInsensitive(eb.List, rs) {
+					return false
+				}
+			}
+		case *ast.BlockStmt:
+			if !orderInsensitive(s.List, rs) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeAssignStmt(stmt ast.Stmt, rs *ast.RangeStmt) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	return ok && commutativeAssign(as, rs)
+}
+
+// commutativeAssign accepts accumulator updates whose final value does not
+// depend on visit order: compound += / -= / |= / &= / ^= on a scalar
+// target, and plain writes indexed by the loop key (each iteration touches
+// a distinct slot).
+func commutativeAssign(s *ast.AssignStmt, rs *ast.RangeStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		ix, ok := s.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		key, ok := rs.Key.(*ast.Ident)
+		return ok && exprString(ix.Index) == key.Name
+	}
+	return false
+}
+
+func isDeleteFromRanged(e ast.Expr, rs *ast.RangeStmt) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	return exprString(call.Args[0]) == exprString(rs.X)
+}
+
+// collectedAndSorted recognizes the collect-then-sort idiom: the body is a
+// single `s = append(s, key)` (or value), and some later statement in the
+// enclosing block passes s to a sorting call (sort.Slice, sort.Strings,
+// a local sortFoo helper, …) before anything else consumes it.
+func collectedAndSorted(rs *ast.RangeStmt, following []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	target, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	if len(call.Args) < 1 || exprString(call.Args[0]) != target.Name {
+		return false
+	}
+	for _, stmt := range following {
+		if stmtSorts(stmt, target.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether stmt is a call that sorts the named slice.
+func stmtSorts(stmt ast.Stmt, slice string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var fname string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fname = fun.Name
+	case *ast.SelectorExpr:
+		fname = exprString(fun)
+	default:
+		return false
+	}
+	if !strings.Contains(strings.ToLower(fname), "sort") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if exprString(arg) == slice {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders simple expressions (identifiers, selector chains,
+// index expressions) for comparison and messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(…)"
+	case *ast.BinaryExpr:
+		return exprString(v.X) + " " + v.Op.String() + " " + exprString(v.Y)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.BasicLit:
+		return v.Value
+	}
+	return "…"
+}

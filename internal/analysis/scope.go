@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Index is a package-wide heuristic type table built from declarations
+// alone: named types, struct fields, and package-level variables. It is
+// what lets the analyzers resolve expressions like `m.admitted` to "a
+// map" without a full type checker — precise enough for the determinism
+// rules, and dependency-free.
+type Index struct {
+	// types maps a package-level type name to its underlying type
+	// expression (`type X map[K]V` → the MapType).
+	types map[string]ast.Expr
+	// fields maps struct type name → field name → field type expression.
+	fields map[string]map[string]ast.Expr
+	// pkgVars maps package-level var names to their declared or inferred
+	// type expressions.
+	pkgVars map[string]ast.Expr
+}
+
+// BuildIndex scans the package's files for type and var declarations.
+func BuildIndex(files []*ast.File) *Index {
+	idx := &Index{
+		types:   map[string]ast.Expr{},
+		fields:  map[string]map[string]ast.Expr{},
+		pkgVars: map[string]ast.Expr{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					idx.types[s.Name.Name] = s.Type
+					if st, ok := s.Type.(*ast.StructType); ok {
+						fm := map[string]ast.Expr{}
+						for _, fld := range st.Fields.List {
+							for _, name := range fld.Names {
+								fm[name.Name] = fld.Type
+							}
+						}
+						idx.fields[s.Name.Name] = fm
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for i, name := range s.Names {
+						if s.Type != nil {
+							idx.pkgVars[name.Name] = s.Type
+						} else if i < len(s.Values) {
+							if t := literalType(s.Values[i]); t != nil {
+								idx.pkgVars[name.Name] = t
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Env is the variable environment of one function: receiver, parameters,
+// and every local whose type is statically evident (explicit var decls,
+// make/composite-literal/conversion initializers). Shadowing is ignored —
+// acceptable for a heuristic linter, and flagged code can always be
+// annotated.
+type Env struct {
+	idx  *Index
+	vars map[string]ast.Expr
+}
+
+// FuncEnv builds the environment for a function or method declaration,
+// including locals declared anywhere in its body (function literals
+// included, since the scanners analyze those inline).
+func (idx *Index) FuncEnv(fd *ast.FuncDecl) *Env {
+	env := &Env{idx: idx, vars: map[string]ast.Expr{}}
+	if fd.Recv != nil {
+		bindFieldList(env, fd.Recv)
+	}
+	if fd.Type.Params != nil {
+		bindFieldList(env, fd.Type.Params)
+	}
+	if fd.Type.Results != nil {
+		bindFieldList(env, fd.Type.Results)
+	}
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for i, name := range vs.Names {
+								if vs.Type != nil {
+									env.vars[name.Name] = vs.Type
+								} else if i < len(vs.Values) {
+									env.bindInferred(name.Name, vs.Values[i])
+								}
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if s.Tok != token.DEFINE {
+					return true
+				}
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, lhs := range s.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							env.bindInferred(id.Name, s.Rhs[i])
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Bind the key/value variables of ranges whose operand
+				// resolves: `for p := range d.procs` gives p the key type,
+				// `for _, v := range xs` gives v the element type.
+				switch t := env.resolve(env.TypeOf(s.X)).(type) {
+				case *ast.MapType:
+					if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+						env.vars[id.Name] = t.Key
+					}
+					if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+						env.vars[id.Name] = t.Value
+					}
+				case *ast.ArrayType:
+					if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+						env.vars[id.Name] = t.Elt
+					}
+				}
+			case *ast.FuncLit:
+				bindFieldList(env, s.Type.Params)
+			}
+			return true
+		})
+	}
+	return env
+}
+
+func bindFieldList(env *Env, fl *ast.FieldList) {
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			env.vars[name.Name] = f.Type
+		}
+	}
+}
+
+// bindInferred records name's type when the initializer makes it evident.
+func (env *Env) bindInferred(name string, value ast.Expr) {
+	if t := literalType(value); t != nil {
+		env.vars[name] = t
+		return
+	}
+	if t := env.TypeOf(value); t != nil {
+		env.vars[name] = t
+	}
+}
+
+// literalType recognizes initializers whose type is syntactically present:
+// make(T, ...), T{...}, &T{...}, and basic literals.
+func literalType(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			return v.Args[0]
+		}
+	case *ast.CompositeLit:
+		return v.Type
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if cl, ok := v.X.(*ast.CompositeLit); ok && cl.Type != nil {
+				return &ast.StarExpr{X: cl.Type}
+			}
+		}
+	case *ast.BasicLit:
+		switch v.Kind {
+		case token.FLOAT:
+			return ast.NewIdent("float64")
+		case token.INT:
+			return ast.NewIdent("int")
+		case token.STRING:
+			return ast.NewIdent("string")
+		}
+	}
+	return nil
+}
+
+// TypeOf resolves an expression to a type expression, or nil when the
+// heuristics cannot tell. The result may be a named type; use IsMap /
+// IsFloat for classification.
+func (env *Env) TypeOf(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if t, ok := env.vars[v.Name]; ok {
+			return t
+		}
+		if t, ok := env.idx.pkgVars[v.Name]; ok {
+			return t
+		}
+	case *ast.ParenExpr:
+		return env.TypeOf(v.X)
+	case *ast.SelectorExpr:
+		// x.f where x's type is a (pointer to a) package-local struct.
+		base := env.resolve(env.TypeOf(v.X))
+		if st, ok := base.(*ast.StarExpr); ok {
+			base = env.resolve(st.X)
+		}
+		if st, ok := base.(*ast.StructType); ok {
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if name.Name == v.Sel.Name {
+						return fld.Type
+					}
+				}
+			}
+		}
+		if id, ok := base.(*ast.Ident); ok {
+			if fm, ok := env.idx.fields[id.Name]; ok {
+				return fm[v.Sel.Name]
+			}
+		}
+	case *ast.IndexExpr:
+		switch t := env.resolve(env.TypeOf(v.X)).(type) {
+		case *ast.MapType:
+			return t.Value
+		case *ast.ArrayType:
+			return t.Elt
+		}
+	case *ast.CallExpr:
+		// Conversions: float64(x), units.MB(x), MyType(x).
+		if id, ok := v.Fun.(*ast.Ident); ok && len(v.Args) == 1 {
+			if isBuiltinNumeric(id.Name) {
+				return id
+			}
+			if _, ok := env.idx.types[id.Name]; ok {
+				return id
+			}
+		}
+	case *ast.CompositeLit:
+		return v.Type
+	case *ast.BasicLit:
+		return literalType(v)
+	case *ast.BinaryExpr:
+		if isArith(v.Op) {
+			if t := env.TypeOf(v.X); t != nil {
+				return t
+			}
+			return env.TypeOf(v.Y)
+		}
+	case *ast.StarExpr:
+		if t, ok := env.resolve(env.TypeOf(v.X)).(*ast.StarExpr); ok {
+			return t.X
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if t := env.TypeOf(v.X); t != nil {
+				return &ast.StarExpr{X: t}
+			}
+		}
+	}
+	return nil
+}
+
+// resolve chases package-local named types to their underlying type
+// expressions, with a depth guard against cycles.
+func (env *Env) resolve(t ast.Expr) ast.Expr {
+	for depth := 0; depth < 8; depth++ {
+		switch v := t.(type) {
+		case *ast.ParenExpr:
+			t = v.X
+		case *ast.Ident:
+			under, ok := env.idx.types[v.Name]
+			if !ok || under == t {
+				return t
+			}
+			t = under
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+// IsMap reports whether e resolves to a map type.
+func (env *Env) IsMap(e ast.Expr) bool {
+	if cl, ok := e.(*ast.CompositeLit); ok && cl.Type != nil {
+		_, isMap := env.resolve(cl.Type).(*ast.MapType)
+		return isMap
+	}
+	_, ok := env.resolve(env.TypeOf(e)).(*ast.MapType)
+	return ok
+}
+
+// IsFloat reports whether e is evidently a floating-point expression:
+// float literals, float conversions, variables and fields of (named)
+// float types, arithmetic over any of those.
+func (env *Env) IsFloat(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return env.IsFloat(v.X)
+	case *ast.BasicLit:
+		return v.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		return env.IsFloat(v.X)
+	case *ast.BinaryExpr:
+		if isArith(v.Op) {
+			return env.IsFloat(v.X) || env.IsFloat(v.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && (id.Name == "float64" || id.Name == "float32") {
+			return true
+		}
+	}
+	if id, ok := env.resolve(env.TypeOf(e)).(*ast.Ident); ok {
+		return id.Name == "float64" || id.Name == "float32"
+	}
+	return false
+}
+
+func isBuiltinNumeric(name string) bool {
+	switch name {
+	case "int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64", "uintptr",
+		"float32", "float64", "byte", "rune", "complex64", "complex128":
+		return true
+	}
+	return false
+}
+
+func isArith(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,5 @@
+package fixture
+
+// A blank import still runs the package's init and hides the dependency
+// from call-site review; the import line itself is the finding.
+import _ "math/rand"

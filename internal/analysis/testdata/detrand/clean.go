@@ -1,0 +1,17 @@
+package fixture
+
+// source mimics the sanctioned internal/rng.Source surface: all
+// randomness a clean package sees arrives pre-seeded through a value like
+// this, never from math/rand.
+type source interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+func cleanDraws(src source) int {
+	n := src.Intn(10)
+	if src.Float64() < 0.5 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"math/rand"
+)
+
+// flaggedDraws reaches for math/rand directly: process-lifetime global
+// state that breaks (seed, profile, policy) replay.
+func flaggedDraws() int {
+	n := rand.Intn(10)
+	if rand.Float64() < 0.5 {
+		n++
+	}
+	return n
+}
+
+// flaggedSource builds a private source; still out of contract, because
+// the seed does not flow from the experiment configuration.
+func flaggedSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,19 @@
+package fixture
+
+// cleanScaled compares integer-scaled values — the knapsack's Eq. 1
+// convention.
+func cleanScaled(a, b int64) bool {
+	return a == b
+}
+
+// cleanEpsilon brackets the difference instead of comparing exactly.
+func cleanEpsilon(x, y float64) bool {
+	const eps = 1e-9
+	d := x - y
+	return d < eps && d > -eps
+}
+
+// cleanOrdering uses ordering comparisons, which floateq leaves alone.
+func cleanOrdering(x, y float64) bool {
+	return x < y
+}

@@ -1,0 +1,22 @@
+package fixture
+
+type cand struct {
+	value float64
+}
+
+// flaggedValueTie adjudicates a packing tie with float equality: two
+// mathematically equal scores can differ in the last ulp depending on
+// evaluation order, flipping the tie.
+func flaggedValueTie(a, b cand) bool {
+	return a.value == b.value
+}
+
+// flaggedLiteral compares against a float literal.
+func flaggedLiteral(x float64) bool {
+	return x != 0.5
+}
+
+// flaggedDerived compares arithmetic over floats.
+func flaggedDerived(used, capacity float64) bool {
+	return used/capacity == 1.0
+}

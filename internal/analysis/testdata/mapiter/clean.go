@@ -1,0 +1,49 @@
+package fixture
+
+import "sort"
+
+type tally struct {
+	counts map[string]int
+}
+
+// cleanSum is pure commutative accumulation; order cannot show.
+func (t *tally) cleanSum() int {
+	total := 0
+	for _, n := range t.counts {
+		total += n
+	}
+	return total
+}
+
+// cleanPurge deletes dead entries from the ranged map and sums the rest —
+// the DeclaredFree shape.
+func (t *tally) cleanPurge(dead func(string) bool) int {
+	total := 0
+	for k, n := range t.counts {
+		if dead(k) {
+			delete(t.counts, k)
+			continue
+		}
+		total += n
+	}
+	return total
+}
+
+// cleanCollectSort collects the keys and sorts them before anything
+// consumes the slice.
+func (t *tally) cleanCollectSort() []string {
+	keys := make([]string, 0, len(t.counts))
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cleanKeyedWrite writes each iteration to a slot named by the loop key;
+// every order lands the same final state.
+func cleanKeyedWrite(in map[string]int, out map[string]int) {
+	for k, v := range in {
+		out[k] = v * 2
+	}
+}

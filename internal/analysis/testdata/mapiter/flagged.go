@@ -1,0 +1,32 @@
+package fixture
+
+type sched struct {
+	waiting map[int]string
+}
+
+// flaggedKill issues kills straight out of map iteration: the kill order
+// — and with it every downstream recover/resubmit interleaving — changes
+// run to run.
+func (s *sched) flaggedKill(kill func(int)) {
+	for id := range s.waiting {
+		kill(id)
+	}
+}
+
+// flaggedCollect appends in map order and never sorts, so the produced
+// slice is a different permutation each run.
+func flaggedCollect(byUser map[string]int) []string {
+	var names []string
+	for u := range byUser {
+		names = append(names, u)
+	}
+	return names
+}
+
+// flaggedFirst returns an arbitrary element: a nondeterministic pick.
+func flaggedFirst(pool map[string]int) string {
+	for k := range pool {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import "sort"
+
+type rjob struct {
+	value int64
+	id    int
+}
+
+// cleanChained carries its tiebreak inside a single chained expression.
+func cleanChained(jobs []rjob) {
+	sort.Slice(jobs, func(i, j int) bool {
+		return jobs[i].value > jobs[j].value ||
+			(jobs[i].value == jobs[j].value && jobs[i].id < jobs[j].id)
+	})
+}
+
+// cleanIfChain is the idiomatic multi-key comparator: compare the key,
+// fall through to a total-order tiebreak.
+func cleanIfChain(jobs []rjob) {
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].value != jobs[j].value {
+			return jobs[i].value > jobs[j].value
+		}
+		return jobs[i].id < jobs[j].id
+	})
+}
+
+// cleanWholeElement compares the elements themselves; equal elements are
+// interchangeable, so instability cannot show.
+func cleanWholeElement(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// cleanStable is already stable; ties keep insertion order.
+func cleanStable(jobs []rjob) {
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].value > jobs[j].value })
+}

@@ -1,0 +1,43 @@
+package fixture
+
+import "time"
+
+type reg struct {
+	entries map[string]int
+}
+
+// suppressedTrailing: the trailing directive silences the wallclock
+// finding on its own line — the next clock read still fires.
+func suppressedTrailing() time.Duration {
+	a := time.Now() //philint:ignore wallclock reviewed: harness timing fixture
+	b := time.Now()
+	return b.Sub(a)
+}
+
+// wrongRule: the directive names mapiter, so the wallclock finding on the
+// line below must survive — a suppression silences exactly its rule.
+func wrongRule() {
+	//philint:ignore mapiter wrong rule on purpose
+	time.Sleep(time.Millisecond)
+}
+
+// suppressedStandalone: a directive on its own line covers the line below.
+func suppressedStandalone(r *reg, kill func(string)) {
+	//philint:ignore mapiter reviewed: kill order asserted by the caller
+	for k := range r.entries {
+		kill(k)
+	}
+}
+
+// malformed directives are findings themselves, and suppress nothing.
+func malformed() {
+	time.Sleep(time.Millisecond) //philint:ignore
+}
+
+func unknownRule() {
+	time.Sleep(time.Millisecond) //philint:ignore nosuchrule some reason
+}
+
+func noReason() {
+	time.Sleep(time.Millisecond) //philint:ignore wallclock
+}

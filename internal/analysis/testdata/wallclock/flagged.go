@@ -1,0 +1,20 @@
+package fixture
+
+import "time"
+
+// flaggedTiming reads the host clock three ways; a simulated component
+// must take all of these from the sim.Engine.
+func flaggedTiming(work func()) time.Duration {
+	start := time.Now()
+	work()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// flaggedTimer waits on a host timer.
+func flaggedTimer(stop chan struct{}) {
+	select {
+	case <-time.After(time.Second):
+	case <-stop:
+	}
+}

@@ -31,9 +31,9 @@ func NewAd() *Ad { return &Ad{attrs: map[string]attr{}} }
 func (a *Ad) Set(name string, v Value) { a.setExpr(name, litExpr{v}) }
 
 // SetInt, SetStr and SetBool are literal-binding conveniences.
-func (a *Ad) SetInt(name string, i int64)  { a.Set(name, Int(i)) }
-func (a *Ad) SetStr(name, s string)        { a.Set(name, Str(s)) }
-func (a *Ad) SetBool(name string, b bool)  { a.Set(name, Bool(b)) }
+func (a *Ad) SetInt(name string, i int64) { a.Set(name, Int(i)) }
+func (a *Ad) SetStr(name, s string)       { a.Set(name, Str(s)) }
+func (a *Ad) SetBool(name string, b bool) { a.Set(name, Bool(b)) }
 
 // SetExpr parses src and binds name to the resulting expression.
 func (a *Ad) SetExpr(name, src string) error {

@@ -48,11 +48,11 @@ func TestArithmetic(t *testing.T) {
 	wantInt(t, "6 * 7", 42)
 	wantInt(t, "7 / 2", 3) // integer division truncates
 	wantInt(t, "7 % 3", 1)
-	wantInt(t, "2 + 3 * 4", 14)     // precedence
-	wantInt(t, "(2 + 3) * 4", 20)   // parens
-	wantInt(t, "-5 + 2", -3)        // unary minus
-	wantInt(t, "- - 5", 5)          // nested unary
-	wantReal(t, "7.0 / 2", 3.5)     // real promotion
+	wantInt(t, "2 + 3 * 4", 14)   // precedence
+	wantInt(t, "(2 + 3) * 4", 20) // parens
+	wantInt(t, "-5 + 2", -3)      // unary minus
+	wantInt(t, "- - 5", 5)        // nested unary
+	wantReal(t, "7.0 / 2", 3.5)   // real promotion
 	wantReal(t, "1 + 0.5", 1.5)
 	wantReal(t, "2.5e2 / 10", 25.0) // exponent literal
 }

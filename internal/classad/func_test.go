@@ -19,9 +19,9 @@ func TestSubstr(t *testing.T) {
 	}{
 		{`substr("abcdef", 2)`, "cdef"},
 		{`substr("abcdef", 2, 2)`, "cd"},
-		{`substr("abcdef", -2)`, "ef"},       // negative offset: from end
-		{`substr("abcdef", 0, -2)`, "abcd"},  // negative length: trim end
-		{`substr("abcdef", 10)`, ""},         // offset past end
+		{`substr("abcdef", -2)`, "ef"},      // negative offset: from end
+		{`substr("abcdef", 0, -2)`, "abcd"}, // negative length: trim end
+		{`substr("abcdef", 10)`, ""},        // offset past end
 		{`substr("abcdef", 0, 100)`, "abcdef"},
 	}
 	for _, c := range cases {
@@ -101,8 +101,8 @@ func TestFunctionErrors(t *testing.T) {
 		`strlen(42)`,
 		`substr(1, 2)`,
 		`min("a")`,
-		`strlen()`,          // arity
-		`ifThenElse(1, 2)`,  // arity
+		`strlen()`,         // arity
+		`ifThenElse(1, 2)`, // arity
 	} {
 		if v := evalStr(t, src); !v.IsError() {
 			t.Errorf("%s = %v, want error", src, v)

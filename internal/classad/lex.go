@@ -16,7 +16,7 @@ const (
 	tokInt
 	tokReal
 	tokString
-	tokOp     // one of the operator/punctuation strings below
+	tokOp // one of the operator/punctuation strings below
 )
 
 type token struct {

@@ -218,11 +218,11 @@ func VectorAdd(sizeMB units.MB, kernel units.Tick, threads units.Threads) *Progr
 			Alloc{Buffer: "a", Size: sizeMB},
 			Alloc{Buffer: "b", Size: sizeMB},
 			Alloc{Buffer: "c", Size: sizeMB},
-			WriteBuffer{Buffer: "a"},  // in(a: length(SIZE))
-			WriteBuffer{Buffer: "b"},  // in(b: length(SIZE))
-			WriteBuffer{Buffer: "c"},  // inout sends c too
+			WriteBuffer{Buffer: "a"}, // in(a: length(SIZE))
+			WriteBuffer{Buffer: "b"}, // in(b: length(SIZE))
+			WriteBuffer{Buffer: "c"}, // inout sends c too
 			RunFunction{Name: "vecadd_kernel", Duration: kernel, Threads: threads},
-			ReadBuffer{Buffer: "c"},   // inout returns c
+			ReadBuffer{Buffer: "c"},                        // inout returns c
 			HostCompute{Duration: 500 * units.Millisecond}, // host consumes c
 		},
 	}

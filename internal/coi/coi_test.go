@@ -79,7 +79,7 @@ func TestLoweredProgramRuns(t *testing.T) {
 
 func TestValidateRejects(t *testing.T) {
 	cases := map[string]*Program{
-		"empty": {Name: "x", DeclMem: 100, DeclThreads: 60},
+		"empty":           {Name: "x", DeclMem: 100, DeclThreads: 60},
 		"no declarations": {Name: "x", Stmts: []Stmt{HostCompute{Duration: 1}}},
 		"write before alloc": {Name: "x", DeclMem: 100, DeclThreads: 60,
 			Stmts: []Stmt{WriteBuffer{Buffer: "a"}}},

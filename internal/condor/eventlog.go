@@ -84,6 +84,11 @@ type EventLog struct {
 // NewEventLog returns an empty log.
 func NewEventLog() *EventLog { return &EventLog{} }
 
+// Append adds an event to the log. The pool records its own events; this
+// is for tooling that reconstructs a log from an external source (for
+// example, replaying a ReadCSV export back through the invariant checker).
+func (l *EventLog) Append(e Event) { l.events = append(l.events, e) }
+
 // Events returns the recorded events in occurrence order.
 func (l *EventLog) Events() []Event {
 	out := make([]Event, len(l.events))

@@ -116,7 +116,7 @@ func (c Config) withDefaults() Config {
 	if c.ReactionDelay == 0 {
 		c.ReactionDelay = units.Second
 	}
-	if c.FillThreadOvercommit == 0 {
+	if c.FillThreadOvercommit == 0 { //philint:ignore floateq zero-value config sentinel, exact by construction
 		c.FillThreadOvercommit = 2.0
 	}
 	return c

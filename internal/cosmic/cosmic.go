@@ -82,11 +82,16 @@ type admitReq struct {
 
 // Manager is the COSMIC instance guarding one coprocessor.
 type Manager struct {
-	eng      *sim.Engine
-	dev      *phi.Device
-	queue    []*request
-	admitQ   []*admitReq
-	admitted map[*phi.Process]bool
+	eng    *sim.Engine
+	dev    *phi.Device
+	queue  []*request
+	admitQ []*admitReq
+	// admitted holds the live admitted processes in admission order.
+	// It was a pointer-keyed map (philint:mapiter's live instance); the
+	// only iteration was an order-insensitive integer sum, but a slice
+	// keeps every present and future traversal deterministic by
+	// construction instead of by adjudication.
+	admitted []*phi.Process
 	stats    Stats
 
 	// Bypass enables first-fit scanning of the wait queue: narrow offloads
@@ -110,7 +115,7 @@ type Manager struct {
 // accounting on it.
 func New(eng *sim.Engine, dev *phi.Device) *Manager {
 	dev.Affinitized = true
-	return &Manager{eng: eng, dev: dev, admitted: map[*phi.Process]bool{}}
+	return &Manager{eng: eng, dev: dev}
 }
 
 // Device exposes the managed coprocessor.
@@ -152,7 +157,7 @@ func (m *Manager) QueueLen() int { return len(m.queue) }
 // dead, with the kill notification delivered asynchronously).
 func (m *Manager) Attach(j *job.Job) *phi.Process {
 	p := m.dev.Attach(j)
-	m.admitted[p] = true
+	m.admitted = append(m.admitted, p)
 	m.noteAdmitted()
 	m.enforceContainer(p, p.Usage())
 	return p
@@ -198,13 +203,20 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 // DeclaredFree is the device memory not reserved by admitted live jobs.
 func (m *Manager) DeclaredFree() units.MB {
 	free := m.dev.Config().Memory
-	for p := range m.admitted {
+	live := m.admitted[:0]
+	for _, p := range m.admitted {
 		if !p.Alive() {
-			delete(m.admitted, p) // purge: process died outside our paths
-			continue
+			continue // purge: process died outside our paths
 		}
+		live = append(live, p)
 		free -= p.Job.Mem
 	}
+	// Clear the purged tail so dead processes do not leak through the
+	// shared backing array.
+	for i := len(live); i < len(m.admitted); i++ {
+		m.admitted[i] = nil
+	}
+	m.admitted = live
 	return free
 }
 
@@ -214,6 +226,19 @@ func (m *Manager) AdmitQueueLen() int { return len(m.admitQ) }
 func (m *Manager) noteAdmitted() {
 	if n := len(m.admitted); n > m.stats.MaxAdmitted {
 		m.stats.MaxAdmitted = n
+	}
+}
+
+// dropAdmitted removes p from the admitted list, preserving the order of
+// the remaining processes.
+func (m *Manager) dropAdmitted(p *phi.Process) {
+	for i, q := range m.admitted {
+		if q == p {
+			copy(m.admitted[i:], m.admitted[i+1:])
+			m.admitted[len(m.admitted)-1] = nil // release the vacated tail slot
+			m.admitted = m.admitted[:len(m.admitted)-1]
+			return
+		}
 	}
 }
 
@@ -242,7 +267,7 @@ func (m *Manager) pumpAdmits() {
 // memory admission with the freed capacity.
 func (m *Manager) Detach(p *phi.Process) {
 	m.dev.Detach(p)
-	delete(m.admitted, p)
+	m.dropAdmitted(p)
 	// Dead-process requests are dropped lazily by pump, but flushing now
 	// frees capacity bookkeeping sooner.
 	m.pump()
@@ -330,7 +355,7 @@ func (m *Manager) enforceContainer(p *phi.Process, wouldCommit units.MB) bool {
 				obs.F("declared_mb", p.Job.Mem), obs.F("would_commit_mb", wouldCommit))
 		}
 		m.dev.Kill(p, phi.KillContainer)
-		delete(m.admitted, p)
+		m.dropAdmitted(p)
 		m.pump()
 		m.pumpAdmits()
 		return false

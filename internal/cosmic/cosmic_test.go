@@ -386,3 +386,48 @@ func TestMaxQueueLenIgnoresImmediateDispatch(t *testing.T) {
 		t.Errorf("MaxQueueLen = %d after an uncontended offload, want 0", n)
 	}
 }
+
+// TestDeclaredFreePurgeIsOrderDeterministic pins the determinism contract
+// on the admitted-set bookkeeping — the philint:mapiter "live instance"
+// adjudicated in this package. The set used to be a pointer-keyed map
+// whose only traversal (DeclaredFree) summed integer MB while purging the
+// dead, so the map's randomized order was not observable; it is now an
+// admission-ordered slice, making every current and future traversal
+// deterministic by construction rather than by adjudication. This test
+// pins the purge, the accounting, and the preserved admission order.
+func TestDeclaredFreePurgeIsOrderDeterministic(t *testing.T) {
+	eng := sim.New()
+	m := newMgr(eng)
+	var procs []*phi.Process
+	for i := 0; i < 6; i++ {
+		procs = append(procs, m.Attach(mkJob(i, 1000, 900, 60)))
+	}
+	// Kill three jobs behind the manager's back, as a device failure or
+	// OOM would: DeclaredFree must purge them lazily.
+	for _, i := range []int{1, 3, 4} {
+		m.Device().Kill(procs[i], phi.KillDeviceFailure)
+	}
+	want := units.MB(8192 - 3*1000)
+	if got := m.DeclaredFree(); got != want {
+		t.Errorf("DeclaredFree after kills = %v, want %v", got, want)
+	}
+	// The purge ran and the survivors kept admission order.
+	wantIDs := []int{0, 2, 5}
+	if len(m.admitted) != len(wantIDs) {
+		t.Fatalf("admitted %d processes after purge, want %d", len(m.admitted), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if m.admitted[i].Job.ID != id {
+			t.Errorf("admitted[%d] = job %d, want %d (admission order lost)", i, m.admitted[i].Job.ID, id)
+		}
+	}
+	// Repeated calls are stable.
+	if got := m.DeclaredFree(); got != want {
+		t.Errorf("DeclaredFree on repeat = %v, want %v", got, want)
+	}
+	// Detaching from the middle preserves the order of the rest.
+	m.Detach(procs[2])
+	if len(m.admitted) != 2 || m.admitted[0].Job.ID != 0 || m.admitted[1].Job.ID != 5 {
+		t.Errorf("admission order after mid-detach: got %d processes", len(m.admitted))
+	}
+}

@@ -47,7 +47,7 @@ func (c Config) withDefaults() Config {
 	if c.MinSamples == 0 {
 		c.MinSamples = 3
 	}
-	if c.MemMargin == 0 {
+	if c.MemMargin == 0 { //philint:ignore floateq zero-value config sentinel, exact by construction
 		c.MemMargin = 1.2
 	}
 	if c.ConservativeMem == 0 {

@@ -31,11 +31,11 @@ import (
 
 // EstimationRow is one declaration regime's outcome under MCCK.
 type EstimationRow struct {
-	Name          string
-	Makespan      units.Tick
-	Reduction     float64 // vs the conservative regime
-	Crashes       int
-	KnownClasses  int
+	Name           string
+	Makespan       units.Tick
+	Reduction      float64 // vs the conservative regime
+	Crashes        int
+	KnownClasses   int
 	MaxConcurrency int
 }
 

@@ -40,8 +40,8 @@ func TestRunBasics(t *testing.T) {
 
 func TestRunPanicsOnBadConfig(t *testing.T) {
 	for name, cfg := range map[string]RunConfig{
-		"no nodes":  {Policy: PolicyMC, Jobs: job.GenerateTableOneSet(1, rng.New(1))},
-		"no jobs":   {Policy: PolicyMC, Nodes: 1},
+		"no nodes":   {Policy: PolicyMC, Jobs: job.GenerateTableOneSet(1, rng.New(1))},
+		"no jobs":    {Policy: PolicyMC, Nodes: 1},
 		"bad policy": {Policy: "nope", Nodes: 1, Jobs: job.GenerateTableOneSet(1, rng.New(1))},
 	} {
 		func() {

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"phishare/internal/cluster"
@@ -220,5 +221,51 @@ func TestZeroHarnessWiresNothing(t *testing.T) {
 	}
 	if h.InjectorStats() != (Stats{}) {
 		t.Error("zero harness counted injections")
+	}
+}
+
+// TestUsageViolationOrderIsDeterministic is the regression test for the
+// philint:mapiter true positive in Checker.checkUsage. Violations land in
+// the capped c.violations slice, so the iteration order over the user set
+// is observable: with the old `for u := range users` map loop, which
+// user's fair-share mismatch was recorded first (and which fell past the
+// cap) flipped run to run. The fix iterates the users in sorted order.
+// Each repetition rebuilds the checker; twelve repetitions would catch
+// the old map-order behaviour with probability 1 - 2^-12.
+func TestUsageViolationOrderIsDeterministic(t *testing.T) {
+	// A completed two-user run...
+	r := newRig(2, 0)
+	r.pool.Log = condor.NewEventLog()
+	r.pool.SubmitAs("walt", []*job.Job{mkJob(0, 500, 60, 2*units.Second)}, 0)
+	r.pool.SubmitAs("ada", []*job.Job{mkJob(1, 500, 60, 2*units.Second)}, 0)
+	r.eng.Run()
+	for _, u := range []string{"walt", "ada"} {
+		if r.pool.Usage(u) == 0 {
+			t.Fatalf("user %q accrued no usage; rig did not run", u)
+		}
+	}
+
+	// ...replayed against a doctored log that stretches every execution
+	// interval, so the reconstructed usage disagrees with the pool's
+	// accumulator for BOTH users at once.
+	doctored := condor.NewEventLog()
+	for _, e := range r.pool.Log.Events() {
+		if e.Kind == condor.EventTerminate || e.Kind == condor.EventCrash {
+			e.At += units.Second
+		}
+		doctored.Append(e)
+	}
+	r.pool.Log = doctored
+
+	for i := 0; i < 12; i++ {
+		c := NewChecker(r.eng, r.clu, r.pool)
+		c.checkUsage()
+		v := c.Violations()
+		if len(v) != 2 {
+			t.Fatalf("iteration %d: %d violations, want 2: %q", i, len(v), v)
+		}
+		if !strings.Contains(v[0], `user "ada"`) || !strings.Contains(v[1], `user "walt"`) {
+			t.Fatalf("iteration %d: violations out of sorted user order: %q", i, v)
+		}
 	}
 }

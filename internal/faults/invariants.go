@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"phishare/internal/cluster"
@@ -278,11 +279,20 @@ func (c *Checker) checkUsage() {
 			want[e.User] += e.At - lastExec[e.JobID]
 		}
 	}
+	// Check users in sorted order: violations land in c.violations, so a
+	// map-order iteration here would make the recorded (and capped) report
+	// nondeterministic whenever more than one user mismatches — the
+	// philint:mapiter hazard, caught by the analyzer on this very loop.
 	users := map[string]bool{}
 	for _, q := range c.pool.Jobs() {
 		users[q.User] = true
 	}
+	names := make([]string, 0, len(users))
 	for u := range users {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	for _, u := range names {
 		if got := c.pool.Usage(u); got != want[u] {
 			c.fail("user %q: fair-share usage %v != %v summed from execution intervals",
 				u, got, want[u])

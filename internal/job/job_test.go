@@ -28,10 +28,10 @@ func TestValidateAccepts(t *testing.T) {
 
 func TestValidateRejects(t *testing.T) {
 	cases := map[string]func(*Job){
-		"zero memory":            func(j *Job) { j.Mem = 0 },
-		"zero threads":           func(j *Job) { j.Threads = 0 },
-		"no phases":              func(j *Job) { j.Phases = nil },
-		"zero-duration phase":    func(j *Job) { j.Phases[0].Duration = 0 },
+		"zero memory":             func(j *Job) { j.Mem = 0 },
+		"zero threads":            func(j *Job) { j.Threads = 0 },
+		"no phases":               func(j *Job) { j.Phases = nil },
+		"zero-duration phase":     func(j *Job) { j.Phases[0].Duration = 0 },
 		"host phase with threads": func(j *Job) { j.Phases[0].Threads = 10 },
 		"offload with no threads": func(j *Job) { j.Phases[1].Threads = 0 },
 		"offload above declared":  func(j *Job) { j.Phases[1].Threads = 240 },

@@ -18,7 +18,7 @@ func TestEq1Value(t *testing.T) {
 		{120, 750}, // 1 - 0.25
 		{180, 438}, // 1 - 0.5625
 		{240, 0},
-		{300, 0},  // clamps above T
+		{300, 0},    // clamps above T
 		{-10, 1000}, // clamps below 0
 	}
 	for _, c := range cases {
@@ -170,8 +170,8 @@ func TestCountBonusBreaksTies(t *testing.T) {
 	// instead compare two sets of equal value where one has more items.
 	scale := CountBonusScale(4)
 	items := []Item{
-		{Mem: 1000, Threads: 0, Value: 1000*scale + 1},        // one job of value 1000
-		{Mem: 500, Threads: 0, Value: 500*scale + 1},          // two jobs of value 500 each
+		{Mem: 1000, Threads: 0, Value: 1000*scale + 1}, // one job of value 1000
+		{Mem: 500, Threads: 0, Value: 500*scale + 1},   // two jobs of value 500 each
 		{Mem: 500, Threads: 0, Value: 500*scale + 1},
 	}
 	res := Solve(Config{MemCapacity: 1000}, items)

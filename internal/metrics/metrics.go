@@ -79,15 +79,15 @@ func (r JobRecord) WaitTime() units.Tick { return r.StartTime - r.SubmitTime }
 
 // Summary aggregates one simulation run.
 type Summary struct {
-	Makespan        units.Tick
-	Jobs            int
-	Completed       int
-	Failed          int
-	Crashes         int
-	AvgUtilization  float64 // mean core utilization across devices over the makespan
-	MeanWait        units.Tick
-	MeanTurnaround  units.Tick
-	MaxConcurrency  int // peak jobs resident on any single device (reported by caller)
+	Makespan       units.Tick
+	Jobs           int
+	Completed      int
+	Failed         int
+	Crashes        int
+	AvgUtilization float64 // mean core utilization across devices over the makespan
+	MeanWait       units.Tick
+	MeanTurnaround units.Tick
+	MaxConcurrency int // peak jobs resident on any single device (reported by caller)
 }
 
 // Summarize builds a Summary from job records and device utilizations.

@@ -8,8 +8,8 @@ import (
 
 func TestCoreUtilizationBasic(t *testing.T) {
 	u := NewCoreUtilization(60)
-	u.Record(0, 30)    // 30 cores busy from 0
-	u.Record(1000, 0)  // idle from 1000
+	u.Record(0, 30)   // 30 cores busy from 0
+	u.Record(1000, 0) // idle from 1000
 	// Over [0, 2000]: 30*1000 busy-core-ticks of 60*2000 capacity = 0.25.
 	if got := u.Utilization(2000); got != 0.25 {
 		t.Errorf("Utilization = %v, want 0.25", got)
@@ -51,8 +51,8 @@ func TestCoreUtilizationPanics(t *testing.T) {
 	u := NewCoreUtilization(10)
 	u.Record(100, 5)
 	for name, fn := range map[string]func(){
-		"backwards time": func() { u.Record(50, 1) },
-		"negative busy":  func() { u.Record(200, -1) },
+		"backwards time":  func() { u.Record(50, 1) },
+		"negative busy":   func() { u.Record(200, -1) },
 		"busy over cores": func() { u.Record(200, 11) },
 		"zero cores":      func() { NewCoreUtilization(0) },
 	} {

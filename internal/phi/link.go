@@ -35,8 +35,8 @@ type Link struct {
 
 // LinkStats counts link activity.
 type LinkStats struct {
-	Transfers   int
-	BytesMoved  units.MB
+	Transfers    int
+	BytesMoved   units.MB
 	PeakInFlight int
 }
 

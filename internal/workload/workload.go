@@ -184,10 +184,10 @@ func synthesize(id int, cfg Config, r *rng.Source) *job.Job {
 // Histogram bins the job set's resource levels for the Fig. 7 reproduction.
 // Levels are inferred from memory, which maps linearly to the level.
 type Histogram struct {
-	Dist    Distribution
-	Bins    []int    // count per bin
-	Edges   []float64 // len(Bins)+1 bin edges in resource-level space
-	Total   int
+	Dist  Distribution
+	Bins  []int     // count per bin
+	Edges []float64 // len(Bins)+1 bin edges in resource-level space
+	Total int
 }
 
 // BuildHistogram bins a synthetic job set into nbins equal-width resource
