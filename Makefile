@@ -7,7 +7,7 @@ GO ?= go
 # label its numbers land under. A perf PR records its baseline first:
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
-BENCH_OUT   ?= BENCH_2.json
+BENCH_OUT   ?= BENCH_5.json
 BENCH_LABEL ?= after
 
 # The regression suite: the hot-path micro-benchmarks plus the two macro
@@ -18,10 +18,13 @@ BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|Benchm
 
 # The chaos gate's sweep width: seeds per (policy, profile) cell. The full
 # acceptance sweep is 50; CI runs a shorter one under -race to keep the gate
-# fast. Override with `make chaos CHAOS_SEEDS=50`.
+# fast. Override with `make chaos CHAOS_SEEDS=50`. CHAOS_DIFF_SEEDS sizes the
+# reference-diff sweep (each of its cells runs twice, once on the dense
+# reference solver, so it is narrower).
 CHAOS_SEEDS ?= 15
+CHAOS_DIFF_SEEDS ?= 10
 
-.PHONY: build vet lint test race bench chaos ci
+.PHONY: build vet lint test race bench benchgate chaos ci
 
 build:
 	$(GO) build ./...
@@ -51,11 +54,20 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -count 1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)
 
+# Benchmark regression fence: re-measure the end-to-end macro benchmark and
+# fail if ns/op or allocs/op regressed more than 10% against the checked-in
+# ledger's "after" label. -count 3 lets the gate take per-metric minima,
+# which damps host noise without loosening the tolerance.
+benchgate:
+	$(GO) test -run '^$$' -bench '^BenchmarkEndToEndMCCK$$' -benchmem -count 3 . \
+		| $(GO) run ./cmd/benchjson -gate $(BENCH_OUT) -gate-label after
+
 # Fault-injection invariant swarm (see internal/faults): CHAOS_SEEDS seeds ×
 # {MC, MCC, MCCK} × {light, heavy} under the invariant checker and the race
 # detector. A failure prints a reproducible (seed, profile, policy) triple.
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count 1 \
-		-run '^TestInvariantSwarm$$' ./internal/experiments
+	CHAOS_SEEDS=$(CHAOS_SEEDS) CHAOS_DIFF_SEEDS=$(CHAOS_DIFF_SEEDS) \
+		$(GO) test -race -count 1 \
+		-run '^TestInvariantSwarm$$|^TestChaosDiffSwarm$$' ./internal/experiments
 
-ci: vet build lint race chaos
+ci: vet build lint race chaos benchgate

@@ -10,14 +10,18 @@
 package phishare
 
 import (
+	"fmt"
 	"testing"
 
 	"phishare/internal/classad"
+	"phishare/internal/cluster"
+	"phishare/internal/condor"
 	"phishare/internal/experiments"
 	"phishare/internal/job"
 	"phishare/internal/knapsack"
 	"phishare/internal/obs"
 	"phishare/internal/rng"
+	"phishare/internal/scheduler"
 	"phishare/internal/sim"
 	"phishare/internal/units"
 	"phishare/internal/workload"
@@ -336,5 +340,77 @@ func BenchmarkKnapsackGreedyVsDP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		knapsack.SolveGreedy(cfg, items)
+	}
+}
+
+// BenchmarkNegotiate measures one isolated matchmaking cycle against a
+// prepared queue at several depths, with one machine ad churned per cycle so
+// the incremental autocluster path has real invalidation work to do (the
+// seven untouched machines answer from their per-cluster verdicts). The
+// queue holds unmatchable jobs, so the cycle is pure matchmaking — no claims
+// mutate the queue between iterations. The autoclusters=false sub-runs are
+// the legacy per-(job, machine) path for comparison.
+func BenchmarkNegotiate(b *testing.B) {
+	for _, depth := range []int{16, 64, 256} {
+		for _, autoclusters := range []bool{true, false} {
+			b.Run(fmt.Sprintf("depth=%d/autoclusters=%v", depth, autoclusters), func(b *testing.B) {
+				eng := sim.New()
+				clu := cluster.New(eng, cluster.Config{Nodes: 8, Seed: 1})
+				pool := condor.NewPool(eng, clu, scheduler.NewExclusive(),
+					condor.Config{DisableAutoclusters: !autoclusters})
+				jobs := make([]*job.Job, depth)
+				for i := range jobs {
+					jobs[i] = &job.Job{
+						ID: i, Name: "bench", Workload: "bench",
+						// More memory than any device: never matches, so the
+						// queue is identical for every measured cycle.
+						Mem:     100_000 + units.MB(i%7)*50,
+						Threads: units.Threads(16 + (i%15)*16),
+					}
+					jobs[i].Phases = []job.Phase{{Kind: job.HostPhase, Duration: units.Second}}
+				}
+				pool.Submit(jobs)
+				machines := pool.Machines()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m := machines[i%len(machines)]
+					m.Ad.SetInt(condor.AttrPhiFreeMemory, int64(4000+i%97))
+					pool.NegotiateOnce()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAutoclusterSignature measures one job-ad signature rendering —
+// the per-job cost of autocluster assignment after a qedit or on first
+// arrival — over ads shaped like the scheduler's (request attributes plus a
+// requirements expression referencing both sides).
+func BenchmarkAutoclusterSignature(b *testing.B) {
+	signer := classad.NewSigner()
+	ads := make([]*classad.Ad, 64)
+	for i := range ads {
+		ad := classad.NewAd()
+		ad.SetInt(condor.AttrJobID, int64(i))
+		ad.SetInt(condor.AttrRequestPhiMemory, int64(200+(i*97)%1800))
+		ad.SetInt(condor.AttrRequestPhiThreads, int64(16+(i*53)%224))
+		ad.SetInt(condor.AttrRequestPhiDevices, 1)
+		ad.MustSetExpr(classad.RequirementsAttr,
+			"TARGET."+condor.AttrPhiFreeMemory+" >= MY."+condor.AttrRequestPhiMemory+
+				" && TARGET."+condor.AttrPhiFreeDevices+" >= MY."+condor.AttrRequestPhiDevices)
+		ads[i] = ad
+	}
+	roots := []string{
+		classad.RequirementsAttr,
+		condor.AttrRequestPhiMemory,
+		condor.AttrRequestPhiThreads,
+		condor.AttrRequestPhiDevices,
+		condor.AttrJobPrio,
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = signer.AppendSignature(buf[:0], ads[i%len(ads)], roots)
 	}
 }

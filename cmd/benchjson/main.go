@@ -11,6 +11,18 @@
 // BENCH_1.json carries both the "before" and "after" sides of an
 // optimization PR. Non-benchmark lines (goos/goarch/cpu headers, PASS/ok
 // trailers) are captured into the run's environment block or skipped.
+//
+// Gate mode turns the ledger into a CI regression fence:
+//
+//	go test -run '^$' -bench BenchmarkEndToEndMCCK -benchmem -count 3 . \
+//	    | benchjson -gate BENCH_5.json -gate-label after
+//
+// compares the fresh sweep on stdin against the named label of a
+// checked-in ledger and exits 1 if any benchmark's ns/op or allocs/op
+// regressed by more than -tolerance (default 10%). Repeated -count lines
+// are collapsed to their per-metric minimum first, which damps host noise:
+// the minimum of several runs estimates the true cost, while a mean would
+// absorb scheduler hiccups and flake the gate.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,8 +55,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("o", "", "JSON file to write (merged with existing content); empty writes to stdout")
-		label = flag.String("label", "run", "label for this sweep inside the JSON file (e.g. before, after)")
+		out       = flag.String("o", "", "JSON file to write (merged with existing content); empty writes to stdout")
+		label     = flag.String("label", "run", "label for this sweep inside the JSON file (e.g. before, after)")
+		gate      = flag.String("gate", "", "ledger file to gate against instead of writing; exit 1 on regression")
+		gateLabel = flag.String("gate-label", "after", "ledger label the gate compares against")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression in gate mode")
 	)
 	flag.Parse()
 
@@ -58,6 +74,9 @@ func main() {
 			if err != nil {
 				log.Fatalf("parse %q: %v", line, err)
 			}
+			if prev, ok := r.Benchmarks[name]; ok {
+				res = minResult(prev, res) // -count > 1: keep per-metric minima
+			}
 			r.Benchmarks[name] = res
 		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
 			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
@@ -70,6 +89,10 @@ func main() {
 	}
 	if len(r.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines on stdin (did the -bench regex match anything?)")
+	}
+
+	if *gate != "" {
+		os.Exit(runGate(*gate, *gateLabel, *tolerance, r))
 	}
 
 	// Merge into any existing ledger so one file accumulates labels.
@@ -96,6 +119,87 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks under label %q to %s", len(r.Benchmarks), *label, *out)
+}
+
+// minResult merges two sweeps of the same benchmark, keeping the minimum of
+// every metric the two share (and any metric only one reports).
+func minResult(a, b benchResult) benchResult {
+	out := benchResult{Iterations: a.Iterations, Metrics: map[string]float64{}}
+	if b.Iterations > out.Iterations {
+		out.Iterations = b.Iterations
+	}
+	for k, v := range a.Metrics {
+		out.Metrics[k] = v
+	}
+	for k, v := range b.Metrics {
+		if old, ok := out.Metrics[k]; !ok || v < old {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+// gatedMetrics are the regression-fenced series: wall time and allocation
+// count. B/op and custom metrics are recorded but not gated — bytes track
+// allocs closely, and custom metrics (e.g. makespan-s) are outcome checks
+// owned by the test suite, not performance.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// runGate compares the fresh sweep against ledger[label] and returns the
+// process exit code: 0 clean, 1 on any regression beyond the tolerance.
+func runGate(ledgerPath, label string, tolerance float64, fresh run) int {
+	data, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		log.Fatalf("gate ledger: %v", err)
+	}
+	ledger := map[string]run{}
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		log.Fatalf("gate ledger %s: %v", ledgerPath, err)
+	}
+	base, ok := ledger[label]
+	if !ok {
+		log.Fatalf("gate ledger %s has no label %q", ledgerPath, label)
+	}
+	names := make([]string, 0, len(fresh.Benchmarks))
+	for name := range fresh.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			log.Printf("%s: not in ledger, skipped", name)
+			continue
+		}
+		got := fresh.Benchmarks[name]
+		for _, metric := range gatedMetrics {
+			w, okW := want.Metrics[metric]
+			g, okG := got.Metrics[metric]
+			if !okW || !okG {
+				continue
+			}
+			compared++
+			limit := w * (1 + tolerance)
+			status := "ok"
+			if g > limit {
+				status = "REGRESSION"
+				failed++
+			}
+			log.Printf("%s %s: %.6g vs ledger %.6g (limit %.6g) %s", name, metric, g, w, limit, status)
+		}
+	}
+	if compared == 0 {
+		log.Print("gate compared nothing: no overlapping benchmarks/metrics")
+		return 1
+	}
+	if failed > 0 {
+		log.Printf("gate FAILED: %d metric(s) regressed more than %.0f%%", failed, tolerance*100)
+		return 1
+	}
+	log.Printf("gate clean: %d metric(s) within %.0f%% of %s[%s]", compared, tolerance*100, ledgerPath, label)
+	return 0
 }
 
 // parseBenchLine splits one result line:

@@ -5,7 +5,15 @@
 // Usage:
 //
 //	phichaos [-seeds N] [-seed0 N] [-policies MC,MCC,MCCK]
-//	         [-profiles light,heavy] [-jobs N] [-nodes N] [-retries N] [-v]
+//	         [-profiles light,heavy] [-jobs N] [-nodes N] [-retries N]
+//	         [-diff] [-v]
+//
+// With -diff every cell additionally replays on the reference paths —
+// autoclusters, match cache, round memoization and the sparse knapsack
+// solver all force-disabled — and any divergence between the two runs'
+// job-record streams is a failure: fault injection is the adversarial
+// workout for cache invalidation, so the bit-for-bit equivalence claim is
+// checked exactly where it is most likely to break.
 //
 // Each failure prints a `FAIL seed=N profile=P policy=Q` triple followed by
 // the violations; replay one cell with the same workload flags plus
@@ -32,6 +40,7 @@ func main() {
 		jobs     = flag.Int("jobs", 18, "Table I jobs per run")
 		nodes    = flag.Int("nodes", 3, "cluster nodes per run")
 		retries  = flag.Int("retries", 4, "crash retry budget per job")
+		diff     = flag.Bool("diff", false, "replay every cell on the reference paths and diff outcomes bit-for-bit")
 		verbose  = flag.Bool("v", false, "print progress lines")
 	)
 	flag.Parse()
@@ -47,13 +56,14 @@ func main() {
 	}
 
 	cfg := experiments.ChaosConfig{
-		Seeds:    *seeds,
-		Seed0:    *seed0,
-		Policies: strings.Split(*policies, ","),
-		Profiles: profs,
-		Jobs:     *jobs,
-		Nodes:    *nodes,
-		Retries:  *retries,
+		Seeds:         *seeds,
+		Seed0:         *seed0,
+		Policies:      strings.Split(*policies, ","),
+		Profiles:      profs,
+		Jobs:          *jobs,
+		Nodes:         *nodes,
+		Retries:       *retries,
+		DiffReference: *diff,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -64,8 +74,12 @@ func main() {
 	failures := experiments.ChaosSwarm(cfg)
 	runs := *seeds * len(cfg.Policies) * len(profs)
 	if len(failures) == 0 {
-		fmt.Printf("phichaos: %d runs clean (%d seeds x %d policies x %d profiles, %d jobs on %d nodes)\n",
-			runs, *seeds, len(cfg.Policies), len(profs), *jobs, *nodes)
+		mode := ""
+		if *diff {
+			mode = ", reference-diffed"
+		}
+		fmt.Printf("phichaos: %d runs clean (%d seeds x %d policies x %d profiles, %d jobs on %d nodes%s)\n",
+			runs, *seeds, len(cfg.Policies), len(profs), *jobs, *nodes, mode)
 		return
 	}
 	for _, f := range failures {

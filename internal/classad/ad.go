@@ -57,14 +57,15 @@ func (a *Ad) setExpr(name string, e Expr) {
 		a.attrs = map[string]attr{}
 	}
 	a.version++
-	a.attrs[strings.ToLower(name)] = attr{name: name, expr: e}
+	a.attrs[canonLower(name)] = attr{name: name, expr: e}
 }
 
 // Delete removes an attribute binding if present.
 func (a *Ad) Delete(name string) {
-	if _, ok := a.attrs[strings.ToLower(name)]; ok {
+	key := canonLower(name)
+	if _, ok := a.attrs[key]; ok {
 		a.version++
-		delete(a.attrs, strings.ToLower(name))
+		delete(a.attrs, key)
 	}
 }
 
@@ -80,10 +81,17 @@ func (a *Ad) Has(name string) bool {
 }
 
 func (a *Ad) lookup(name string) (Expr, bool) {
+	return a.lookupCanon(canonLower(name))
+}
+
+// lookupCanon is lookup for a key already in canonical (lowercase) form —
+// the evaluator's attribute dereferences pre-canonicalize at parse time so
+// the hot path skips the case-folding intern table.
+func (a *Ad) lookupCanon(canon string) (Expr, bool) {
 	if a == nil || a.attrs == nil {
 		return nil, false
 	}
-	at, ok := a.attrs[strings.ToLower(name)]
+	at, ok := a.attrs[canon]
 	if !ok {
 		return nil, false
 	}
@@ -103,7 +111,7 @@ func (a *Ad) EvalWithTarget(name string, target *Ad) Value {
 	if !ok {
 		return Undefined()
 	}
-	return expr.Eval(&Env{My: a, Target: target})
+	return expr.Eval(Env{My: a, Target: target})
 }
 
 // Clone returns a deep-enough copy: expressions are immutable once parsed,
@@ -148,6 +156,10 @@ func (a *Ad) String() string {
 // RequirementsAttr is the attribute consulted by matchmaking.
 const RequirementsAttr = "Requirements"
 
+// canonRequirements is RequirementsAttr in canonical form, precomputed for
+// the matchmaking hot path.
+const canonRequirements = "requirements"
+
 // RankAttr orders acceptable matches (higher is better).
 const RankAttr = "Rank"
 
@@ -160,11 +172,11 @@ func Match(a, b *Ad) bool {
 }
 
 func requirementsHold(my, target *Ad) bool {
-	expr, ok := my.lookup(RequirementsAttr)
+	expr, ok := my.lookupCanon(canonRequirements)
 	if !ok {
 		return true
 	}
-	v := expr.Eval(&Env{My: my, Target: target})
+	v := expr.Eval(Env{My: my, Target: target})
 	b, isBool := v.BoolValue()
 	return isBool && b
 }
@@ -176,7 +188,7 @@ func Rank(my, target *Ad) float64 {
 	if !ok {
 		return 0
 	}
-	v := expr.Eval(&Env{My: my, Target: target})
+	v := expr.Eval(Env{My: my, Target: target})
 	f, ok := v.RealValue()
 	if !ok {
 		return 0

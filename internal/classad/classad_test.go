@@ -12,7 +12,7 @@ func evalStr(t *testing.T, src string) Value {
 	if err != nil {
 		t.Fatalf("Parse(%q): %v", src, err)
 	}
-	return e.Eval(nil)
+	return e.Eval(Env{})
 }
 
 func wantInt(t *testing.T, src string, want int64) {
@@ -309,7 +309,7 @@ func TestExprStringRoundTripPreservesValue(t *testing.T) {
 		`Name == "slot1@node2" && RequestPhiMemory <= 8192`,
 		"-x + 4 >= 2.5",
 	}
-	env := &Env{My: NewAd()}
+	env := Env{My: NewAd()}
 	env.My.SetInt("a", 0) // force bool errors to be stable: unused
 	for _, src := range srcs {
 		e1, err := Parse(src)
@@ -320,7 +320,7 @@ func TestExprStringRoundTripPreservesValue(t *testing.T) {
 		if err != nil {
 			t.Fatalf("re-Parse(%q): %v", e1.String(), err)
 		}
-		v1, v2 := e1.Eval(nil), e2.Eval(nil)
+		v1, v2 := e1.Eval(Env{}), e2.Eval(Env{})
 		if v1.String() != v2.String() {
 			t.Errorf("round trip of %q changed value: %v vs %v", src, v1, v2)
 		}

@@ -49,8 +49,8 @@ type callExpr struct {
 	args []Expr
 }
 
-func (e callExpr) Eval(env *Env) Value {
-	b, ok := builtins[strings.ToLower(e.name)]
+func (e callExpr) Eval(env Env) Value {
+	b, ok := builtins[canonLower(e.name)]
 	if !ok {
 		return ErrorValue("unknown function " + e.name)
 	}

@@ -156,7 +156,7 @@ func TestCallStringRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("re-Parse(%q): %v", e1.String(), err)
 		}
-		if e1.Eval(nil).String() != e2.Eval(nil).String() {
+		if e1.Eval(Env{}).String() != e2.Eval(Env{}).String() {
 			t.Errorf("round trip of %q changed value", src)
 		}
 	}

@@ -41,13 +41,13 @@ func FuzzParse(f *testing.F) {
 			return // rejected inputs are fine
 		}
 		// Accepted inputs must evaluate and round-trip without panic.
-		v1 := expr.Eval(nil)
+		v1 := expr.Eval(Env{})
 		rendered := expr.String()
 		expr2, err := Parse(rendered)
 		if err != nil {
 			t.Fatalf("rendered expression does not re-parse: %q -> %q: %v", src, rendered, err)
 		}
-		v2 := expr2.Eval(nil)
+		v2 := expr2.Eval(Env{})
 		if v1.String() != v2.String() {
 			t.Fatalf("round trip changed value: %q -> %q (%v vs %v)", src, rendered, v1, v2)
 		}

@@ -8,9 +8,11 @@ import (
 
 // Expr is a parsed ClassAd expression.
 type Expr interface {
-	// Eval evaluates the expression in an environment. env may be nil, in
-	// which case every attribute reference is undefined.
-	Eval(env *Env) Value
+	// Eval evaluates the expression in an environment. Env is passed by
+	// value: it is three words, and a pointer parameter would force a heap
+	// allocation at every attribute dereference (the call is through an
+	// interface, so escape analysis must assume the pointee escapes).
+	Eval(env Env) Value
 	// String renders the expression in parseable ClassAd syntax.
 	String() string
 }
@@ -33,19 +35,17 @@ const maxEvalDepth = 64
 
 type litExpr struct{ v Value }
 
-func (e litExpr) Eval(*Env) Value { return e.v }
-func (e litExpr) String() string  { return e.v.String() }
+func (e litExpr) Eval(Env) Value { return e.v }
+func (e litExpr) String() string { return e.v.String() }
 
 // attrExpr is an attribute reference, optionally scoped ("", "my", "target").
 type attrExpr struct {
 	scope string // "", "my", or "target" (normalized lowercase)
 	name  string // original spelling, matched case-insensitively
+	canon string // canonical (interned lowercase) spelling, fixed at parse
 }
 
-func (e attrExpr) Eval(env *Env) Value {
-	if env == nil {
-		return Undefined()
-	}
+func (e attrExpr) Eval(env Env) Value {
 	if env.depth >= maxEvalDepth {
 		return ErrorValue("attribute reference cycle involving " + e.name)
 	}
@@ -53,12 +53,12 @@ func (e attrExpr) Eval(env *Env) Value {
 		if ad == nil {
 			return Undefined()
 		}
-		expr, ok := ad.lookup(e.name)
+		expr, ok := ad.lookupCanon(e.canon)
 		if !ok {
 			return Undefined()
 		}
 		// Attributes evaluate in their owning ad's scope.
-		child := &Env{My: ad, Target: searchOther, depth: env.depth + 1}
+		child := Env{My: ad, Target: searchOther, depth: env.depth + 1}
 		return expr.Eval(child)
 	}
 	switch e.scope {
@@ -68,12 +68,12 @@ func (e attrExpr) Eval(env *Env) Value {
 		return lookup(env.Target, env.My)
 	default:
 		if env.My != nil {
-			if _, ok := env.My.lookup(e.name); ok {
+			if _, ok := env.My.lookupCanon(e.canon); ok {
 				return lookup(env.My, env.Target)
 			}
 		}
 		if env.Target != nil {
-			if _, ok := env.Target.lookup(e.name); ok {
+			if _, ok := env.Target.lookupCanon(e.canon); ok {
 				return lookup(env.Target, env.My)
 			}
 		}
@@ -96,7 +96,7 @@ type unaryExpr struct {
 	x  Expr
 }
 
-func (e unaryExpr) Eval(env *Env) Value {
+func (e unaryExpr) Eval(env Env) Value {
 	v := e.x.Eval(env)
 	switch e.op {
 	case "!":
@@ -114,7 +114,7 @@ type binaryExpr struct {
 	x, y Expr
 }
 
-func (e binaryExpr) Eval(env *Env) Value {
+func (e binaryExpr) Eval(env Env) Value {
 	switch e.op {
 	case "&&":
 		return and(e.x.Eval(env), e.y.Eval(env))
@@ -329,9 +329,9 @@ func (p *parser) parseIdent() (Expr, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return attrExpr{scope: strings.ToLower(name), name: attr}, nil
+		return attrExpr{scope: strings.ToLower(name), name: attr, canon: canonLower(attr)}, nil
 	}
-	return attrExpr{name: name}, nil
+	return attrExpr{name: name, canon: canonLower(name)}, nil
 }
 
 // parseCall parses a built-in function application: name(arg, arg, ...).

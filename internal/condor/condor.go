@@ -103,6 +103,18 @@ type QueuedJob struct {
 	// accrue per run, or a crashed-and-resubmitted job would charge its first
 	// run's interval (plus the idle re-queue gap) to its user twice.
 	runStart units.Tick
+
+	// Autocluster membership cache (see Pool.autoclusterOf): acID is valid
+	// while the ad's version still equals acVer.
+	acID  int
+	acVer uint64
+	acOK  bool
+	// qeditStr/qeditVer remember the last Requirements expression installed
+	// by Qedit and the ad version it produced, so re-applying the identical
+	// expression (MCCK re-pins the same plan every cycle in steady state)
+	// can skip the mutation and keep the match caches warm.
+	qeditStr string
+	qeditVer uint64
 }
 
 // Machine is one advertised slot: a device unit plus its ClassAd and the
@@ -120,10 +132,17 @@ type Machine struct {
 	// HostSlots is the machine's resident-job capacity (from Config).
 	HostSlots int
 	// Offline marks a lost node: the negotiator skips it entirely (its
-	// startd stopped advertising). Set and cleared by the fault layer; a
+	// startd stopped advertising). Set and cleared by the fault layer
+	// through Pool.SetOffline (which also wakes the dirty-cycle tracker); a
 	// machine going offline does not by itself evict residents — the device
 	// failure that accompanies a node loss does that.
 	Offline bool
+
+	// acVals memoizes Match verdicts against this machine per autocluster,
+	// indexed by acID − Pool.acBase (a dense array beats a hashed map on
+	// the negotiation hot path). Truncated whenever the signature table is
+	// wholesale cleared; see Pool.autoclusterOf.
+	acVals []acVal
 }
 
 // AtCapacity reports whether every host slot is claimed.
@@ -230,8 +249,16 @@ type Config struct {
 	// cache. The cached and uncached negotiators are semantically identical
 	// (the cache keys on both ads' mutation counters, so a stale entry is
 	// impossible); the flag exists so the determinism regression can prove
-	// that by running the full stack both ways.
+	// that by running the full stack both ways. It also disables
+	// autoclusters, which are a grouping layer over the same cache.
 	DisableMatchCache bool
+	// DisableAutoclusters routes matchmaking through the legacy
+	// per-(machine, job) cache and disables the dirty-cycle short-circuit
+	// and qedit identity elision, i.e. the negotiator behaves exactly as it
+	// did before autocluster grouping. Like DisableMatchCache, it exists so
+	// the equivalence regression (and the chaos swarm's diff mode) can prove
+	// the grouped and ungrouped negotiators produce bit-identical outcomes.
+	DisableAutoclusters bool
 }
 
 func (c Config) withDefaults() Config {
@@ -264,6 +291,10 @@ type Stats struct {
 	// NegotiationRestarts counts cycles aborted and rescheduled by an
 	// injected negotiator fault (NegotiationFaults.CycleRestart).
 	NegotiationRestarts int
+	// CycleSkips counts negotiation cycles short-circuited by the dirty
+	// tracker: nothing relevant changed since a previous cycle that matched
+	// nothing, so the scan was provably a no-op and was skipped.
+	CycleSkips int
 }
 
 // NegotiationFaults lets the fault layer (internal/faults) perturb the
@@ -297,16 +328,62 @@ type Pool struct {
 	stats        Stats
 
 	// matchCache memoizes classad.Match per (machine, job) pair, keyed by
-	// both ads' mutation counters. The negotiator's O(pending × machines)
-	// scan re-evaluates only pairs whose ads changed since the last cycle:
-	// a machine ad changes on claim/release (updateAd), a job ad on qedit
-	// or resubmission, so a long idle backlog against a stable machine
-	// costs two map probes per cycle instead of two expression-tree walks.
-	// Entries are evicted when a job reaches a terminal state.
+	// both ads' mutation counters. It is the legacy (DisableAutoclusters)
+	// cache; the autocluster path below replaces the per-job key with a
+	// per-equivalence-class one. Entries carry the generation of the cycle
+	// that last touched them; sweepCaches evicts cold generations once the
+	// map outgrows its watermark, replacing the old per-terminal-job
+	// eviction scan.
 	matchCache map[matchKey]matchVal
 	// candScratch is the candidates slice reused across every pending job
 	// of every cycle (it was re-grown from nil per job before).
 	candScratch []*Machine
+
+	// Autocluster matchmaking (HTCondor's autoclusters): pending jobs whose
+	// ads are equivalent for matchmaking purposes — identical signatures
+	// over Requirements plus every attribute a machine's Requirements can
+	// read from the job — share one Match evaluation per machine.
+	//
+	//   sigRoots  attributes rendered into each job signature: the job's
+	//             own Requirements plus the union of every machine-side
+	//             TARGET reference (computed once; machine Requirements are
+	//             installed at NewPool and never rewritten).
+	//   signer    reusable signature renderer (internal/classad).
+	//   acIDs     interned signature → dense autocluster id. Ids are never
+	//             reused; if the table ever outgrows acTableCap (a workload
+	//             with unbounded distinct signatures) it is wholesale
+	//             cleared and re-interned signatures get fresh ids, which
+	//             only costs extra evaluations, never correctness.
+	//   acBase    first acID of the current signature-table era. Match
+	//             verdicts live in Machine.acVals indexed by acID − acBase,
+	//             valid while the machine ad's version holds (the job side
+	//             cannot go stale: a job ad mutation re-signs the job into
+	//             the correct — possibly new — autocluster). Clearing the
+	//             table advances acBase and truncates every acVals slice,
+	//             so slices stay bounded by acTableCap.
+	sigRoots []string
+	signer   *classad.Signer
+	sigBuf   []byte
+	acIDs    map[string]int
+	acNext   int
+	acBase   int
+	// acSeen stamps autocluster ids seen during the current cycle's scan
+	// (value: cacheGen) so the observability gauge can report how many
+	// distinct clusters the pending queue collapsed into.
+	acSeen map[int]uint64
+
+	// Dirty-cycle tracking: cacheGen counts full (non-skipped) negotiation
+	// cycles and stamps cache entries for eviction; dirty is set by every
+	// event that could change a future cycle's outcome (submission, qedit
+	// mutation, claim, release, offline toggle); lastNoOp records that the
+	// previous full cycle matched nothing, invoked no policy Select, and
+	// mutated no ad. A cycle beginning with !dirty && lastNoOp would repeat
+	// that no-op bit for bit, so it is skipped (see negotiate).
+	cacheGen   uint64
+	dirty      bool
+	lastNoOp   bool
+	qeditMuts  int // cumulative qedits that actually mutated an ad
+	selectCall int // policy.Select invocations in the current cycle
 
 	// usage accumulates per-user device time (claim duration) for
 	// fair-share ordering.
@@ -331,34 +408,93 @@ type Pool struct {
 	obsNeg        *obs.Counter
 	obsMatch      *obs.Counter
 	obsQedit      *obs.Counter
+	obsEvalSaved  *obs.Counter
+	obsCycleSkip  *obs.Counter
+	obsAutoclu    *obs.Gauge
 	obsCycleGap   *obs.Histogram
 	lastNegAt     units.Tick
 	hasNegotiated bool
 }
 
-// matchKey identifies one matchmaking pair for the match cache.
+// matchKey identifies one matchmaking pair for the legacy match cache.
 type matchKey struct {
 	m *Machine
 	q *QueuedJob
 }
 
 // matchVal is a memoized Match result, valid while both ads' versions hold.
+// gen is the cycle generation that last touched the entry (for eviction).
 type matchVal struct {
 	mv, jv uint64
 	ok     bool
+	gen    uint64
 }
 
-// match is the cached equivalent of classad.Match(m.Ad, q.Ad).
+// acVal is a memoized Match result for every job in an autocluster, valid
+// while the machine ad's version holds. mvp stores version+1 so the zero
+// value (a freshly grown slot in Machine.acVals) is never a valid entry.
+type acVal struct {
+	mvp uint64
+	ok  bool
+}
+
+// acTableCap bounds the signature intern table; see the acIDs field comment.
+const acTableCap = 4096
+
+// autoclusterOf returns q's autocluster id, signing the ad only when its
+// version moved since the last call (the common case — an unchanged pending
+// job — is two integer compares).
+func (p *Pool) autoclusterOf(q *QueuedJob) int {
+	v := q.Ad.Version()
+	if q.acOK && q.acVer == v && q.acID >= p.acBase {
+		return q.acID
+	}
+	p.sigBuf = p.signer.AppendSignature(p.sigBuf[:0], q.Ad, p.sigRoots)
+	id, ok := p.acIDs[string(p.sigBuf)] // no-alloc map probe
+	if !ok {
+		if len(p.acIDs) >= acTableCap {
+			// New era: ids stay monotonic so stale cached acIDs (now below
+			// acBase) can never collide with fresh ones, and every
+			// machine's verdict array restarts empty.
+			clear(p.acIDs)
+			p.acBase = p.acNext
+			for _, m := range p.machines {
+				m.acVals = m.acVals[:0]
+			}
+		}
+		id = p.acNext
+		p.acNext++
+		p.acIDs[string(p.sigBuf)] = id
+	}
+	q.acID, q.acVer, q.acOK = id, v, true
+	return id
+}
+
+// match is the cached equivalent of classad.Match(m.Ad, q.Ad), dispatching
+// to whichever cache the configuration selects.
 func (p *Pool) match(m *Machine, q *QueuedJob) bool {
-	if p.cfg.DisableMatchCache {
+	switch {
+	case p.cfg.DisableMatchCache:
 		// No cache, no cache counters: the observability test asserts every
 		// cache series stays zero in this configuration.
 		return classad.Match(m.Ad, q.Ad)
+	case p.cfg.DisableAutoclusters:
+		return p.matchLegacy(m, q)
+	default:
+		return p.matchCluster(m, q, p.autoclusterOf(q))
 	}
+}
+
+// matchLegacy is the pre-autocluster per-(machine, job) cache path.
+func (p *Pool) matchLegacy(m *Machine, q *QueuedJob) bool {
 	k := matchKey{m, q}
 	mv, jv := m.Ad.Version(), q.Ad.Version()
 	if v, hit := p.matchCache[k]; hit {
 		if v.mv == mv && v.jv == jv {
+			if v.gen != p.cacheGen {
+				v.gen = p.cacheGen
+				p.matchCache[k] = v
+			}
 			p.obsCacheHit.Inc()
 			return v.ok
 		}
@@ -367,26 +503,80 @@ func (p *Pool) match(m *Machine, q *QueuedJob) bool {
 		p.obsCacheMiss.Inc()
 	}
 	ok := classad.Match(m.Ad, q.Ad)
-	p.matchCache[k] = matchVal{mv: mv, jv: jv, ok: ok}
+	p.matchCache[k] = matchVal{mv: mv, jv: jv, ok: ok, gen: p.cacheGen}
 	return ok
 }
 
-// forgetJob evicts a terminal job's match-cache entries; the pair can never
-// be consulted again, so the entries would only leak.
-func (p *Pool) forgetJob(q *QueuedJob) {
-	if p.cfg.DisableMatchCache {
-		return
+// matchCluster consults the autocluster cache: one Match evaluation serves
+// every job whose ad signs into the same autocluster. Only the machine ad's
+// version needs checking — a job-side mutation moves the job to a different
+// (or fresh) autocluster id rather than invalidating in place.
+func (p *Pool) matchCluster(m *Machine, q *QueuedJob, ac int) bool {
+	idx := ac - p.acBase // ≥ 0: autoclusterOf re-signs ids from older eras
+	for len(m.acVals) <= idx {
+		m.acVals = append(m.acVals, acVal{})
 	}
-	for _, m := range p.machines {
-		delete(p.matchCache, matchKey{m, q})
+	mvp := m.Ad.Version() + 1
+	if v := m.acVals[idx]; v.mvp != 0 {
+		if v.mvp == mvp {
+			p.obsCacheHit.Inc()
+			p.obsEvalSaved.Inc()
+			return v.ok
+		}
+		p.obsCacheInv.Inc()
+	} else {
+		p.obsCacheMiss.Inc()
+	}
+	ok := classad.Match(m.Ad, q.Ad)
+	m.acVals[idx] = acVal{mvp: mvp, ok: ok}
+	return ok
+}
+
+// cacheKeepGens is how many full cycles an untouched cache entry survives
+// once its map is over the sweep watermark.
+const cacheKeepGens = 4
+
+// sweepCaches evicts match-cache entries not touched for cacheKeepGens full
+// cycles, but only once a map outgrows a watermark proportional to the live
+// pair population — the steady state never pays the sweep. This replaces the
+// old per-terminal-job eviction scan (O(machines) deletes per completion)
+// and, unlike it, also bounds entries for jobs that leave the pending set by
+// matching.
+func (p *Pool) sweepCaches() {
+	live := len(p.pending) + p.inFlight + 1
+	if limit := 64 + 4*len(p.machines)*live; len(p.matchCache) > limit {
+		for k, v := range p.matchCache { //philint:ignore mapiter eviction is keyed on per-entry state only, so iteration order cannot change the surviving set
+			if v.gen+cacheKeepGens <= p.cacheGen {
+				delete(p.matchCache, k)
+			}
+		}
 	}
 }
+
+// MatchCacheLen reports the total number of memoized match results across
+// both caches (the legacy per-pair map plus every machine's autocluster
+// verdict array), for cache-growth regression tests.
+func (p *Pool) MatchCacheLen() int {
+	n := len(p.matchCache)
+	for _, m := range p.machines {
+		n += len(m.acVals)
+	}
+	return n
+}
+
+// AutoclusterCount reports how many distinct job-ad signatures have been
+// interned so far.
+func (p *Pool) AutoclusterCount() int { return len(p.acIDs) }
 
 // NewPool builds a pool over the cluster with the given policy.
 func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *Pool {
 	p := &Pool{eng: eng, clu: clu, cfg: cfg.withDefaults(), policy: policy,
 		usage:      map[string]units.Tick{},
-		matchCache: map[matchKey]matchVal{}}
+		matchCache: map[matchKey]matchVal{},
+		acIDs:      map[string]int{},
+		acSeen:     map[int]uint64{},
+		signer:     classad.NewSigner(),
+		dirty:      true}
 	for _, unit := range clu.Units {
 		m := &Machine{
 			Name:      unit.SlotName,
@@ -404,6 +594,20 @@ func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *
 		m.updateAd()
 		p.machines = append(p.machines, m)
 	}
+	// Job signatures must cover everything a machine's Requirements can read
+	// from the job ad, plus the job's own Requirements. Machine Requirements
+	// come from the policy at construction and are never rewritten, so the
+	// root set is fixed for the pool's lifetime.
+	roots := map[string]bool{classad.RequirementsAttr: true}
+	for _, m := range p.machines {
+		for _, ref := range m.Ad.TargetRefs(classad.RequirementsAttr) {
+			roots[ref] = true
+		}
+	}
+	for r := range roots { //philint:ignore mapiter collect then sort: the slice is sorted immediately below
+		p.sigRoots = append(p.sigRoots, r)
+	}
+	sort.Strings(p.sigRoots)
 	return p
 }
 
@@ -418,6 +622,9 @@ func (p *Pool) SetObserver(o *obs.Observer) {
 	p.obsNeg = o.Counter("condor_negotiations_total")
 	p.obsMatch = o.Counter("condor_matches_total")
 	p.obsQedit = o.Counter("condor_qedits_total")
+	p.obsEvalSaved = o.Counter("condor_autocluster_evals_saved_total")
+	p.obsCycleSkip = o.Counter("condor_negotiation_skips_total")
+	p.obsAutoclu = o.Gauge("condor_autoclusters_pending")
 	p.obsCycleGap = o.Histogram("condor_negotiation_gap_seconds",
 		[]float64{1, 2, 5, 10, 20, 30, 60, 120})
 }
@@ -482,6 +689,7 @@ func (p *Pool) SubmitAs(user string, jobs []*job.Job, priority int) {
 // insertPending keeps the pending queue ordered by (priority desc, arrival)
 // so the FIFO scan of negotiate respects priorities.
 func (p *Pool) insertPending(q *QueuedJob) {
+	p.dirty = true
 	i := len(p.pending)
 	for i > 0 && p.pending[i-1].Priority < q.Priority {
 		i--
@@ -494,15 +702,28 @@ func (p *Pool) insertPending(q *QueuedJob) {
 // Qedit rewrites a pending job's Requirements, the condor_qedit integration
 // point the knapsack scheduler uses to pin jobs to slots (§IV-D1).
 func (p *Pool) Qedit(q *QueuedJob, requirements string) {
-	if err := q.Ad.SetExpr(classad.RequirementsAttr, requirements); err != nil {
-		panic(fmt.Sprintf("condor: qedit of job %d: %v", q.Job.ID, err))
-	}
 	p.stats.Qedits++
 	p.obsQedit.Inc()
 	if p.obs != nil {
 		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "qedit",
 			obs.F("job", q.Job.ID), obs.F("requirements", requirements))
 	}
+	if !p.cfg.DisableAutoclusters &&
+		q.qeditVer == q.Ad.Version() && q.qeditStr == requirements {
+		// The ad already holds exactly this expression (MCCK re-pins the
+		// same plan every steady-state cycle). Matchmaking cannot tell the
+		// rewritten ad from the untouched one — the contents are identical —
+		// so skip the mutation and keep the ad version, and with it the
+		// match and autocluster caches, warm.
+		return
+	}
+	if err := q.Ad.SetExpr(classad.RequirementsAttr, requirements); err != nil {
+		panic(fmt.Sprintf("condor: qedit of job %d: %v", q.Job.ID, err))
+	}
+	q.qeditStr = requirements
+	q.qeditVer = q.Ad.Version()
+	p.qeditMuts++
+	p.dirty = true
 }
 
 // requestNegotiation schedules a negotiation after delay, keeping only the
@@ -561,6 +782,29 @@ func (p *Pool) negotiate() {
 			obs.F("pending", len(p.pending)),
 			obs.F("in_flight", p.inFlight))
 	}
+
+	if !p.cfg.DisableAutoclusters && !p.cfg.DisableMatchCache &&
+		!p.dirty && p.lastNoOp {
+		// Nothing relevant changed since a full cycle that matched nothing,
+		// called no policy Select (so no policy RNG draw can be owed), and
+		// mutated no ad: re-running the scan would reproduce that no-op bit
+		// for bit. Skip straight to the cycle tail, which performs exactly
+		// the bookkeeping the full cycle would have (the stall counter sees
+		// the same matched/inFlight/Offline values).
+		p.stats.CycleSkips++
+		p.obsCycleSkip.Inc()
+		if p.obs != nil {
+			p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_skip",
+				obs.F("cycle", p.stats.Negotiations),
+				obs.F("pending", len(p.pending)))
+		}
+		p.finishCycle(0)
+		return
+	}
+
+	p.cacheGen++
+	qedits0 := p.qeditMuts
+	p.selectCall = 0
 	p.policy.PreNegotiation(p)
 
 	if p.cfg.FairShare {
@@ -571,12 +815,28 @@ func (p *Pool) negotiate() {
 		})
 	}
 
+	autoclusters := !p.cfg.DisableMatchCache && !p.cfg.DisableAutoclusters
+	countClusters := autoclusters && p.obs != nil
+	if countClusters {
+		clear(p.acSeen)
+	}
+	clusters := 0
 	matched := 0
 	still := p.pending[:0] // in-place filter: write index trails read index
 	if cap(p.candScratch) < len(p.machines) {
 		p.candScratch = make([]*Machine, 0, len(p.machines))
 	}
 	for _, q := range p.pending {
+		ac := -1
+		if autoclusters {
+			ac = p.autoclusterOf(q)
+			if countClusters {
+				if p.acSeen[ac] != p.cacheGen {
+					p.acSeen[ac] = p.cacheGen
+					clusters++
+				}
+			}
+		}
 		candidates := p.candScratch[:0]
 		for _, m := range p.machines {
 			// A machine with no free host slot cannot accept any job,
@@ -585,12 +845,22 @@ func (p *Pool) negotiate() {
 			if m.Offline || m.AtCapacity() {
 				continue
 			}
-			if p.match(m, q) {
+			ok := false
+			switch {
+			case ac >= 0:
+				ok = p.matchCluster(m, q, ac)
+			case p.cfg.DisableMatchCache:
+				ok = classad.Match(m.Ad, q.Ad)
+			default:
+				ok = p.matchLegacy(m, q)
+			}
+			if ok {
 				candidates = append(candidates, m)
 			}
 		}
 		idx := -1
 		if len(candidates) > 0 {
+			p.selectCall++
 			idx = p.policy.Select(p, q, candidates)
 		}
 		if idx < 0 || idx >= len(candidates) {
@@ -605,8 +875,18 @@ func (p *Pool) negotiate() {
 	}
 	p.pending = still
 	p.stats.Matches += matched
+	if countClusters {
+		p.obsAutoclu.Set(float64(clusters))
+	}
 
 	p.policy.PostNegotiation(p)
+
+	// The cycle itself is the last thing that could have dirtied the pool
+	// before the next trigger fires; from here on, only external events
+	// (submission, completion, fault, qedit) can.
+	p.lastNoOp = matched == 0 && p.selectCall == 0 && p.qeditMuts == qedits0
+	p.dirty = false
+	p.sweepCaches()
 
 	if p.obs != nil {
 		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_end",
@@ -615,6 +895,12 @@ func (p *Pool) negotiate() {
 			obs.F("pending", len(p.pending)))
 	}
 
+	p.finishCycle(matched)
+}
+
+// finishCycle is the tail every negotiation cycle — full or skipped — runs:
+// stall accounting, the stall breaker, and the periodic re-trigger.
+func (p *Pool) finishCycle(matched int) {
 	if matched == 0 && p.inFlight == 0 && !p.anyOffline() {
 		// An empty cycle while a node is down is not evidence of an
 		// unmatchable job — the repair may make it matchable again — so it
@@ -636,7 +922,6 @@ func (p *Pool) negotiate() {
 				p.obs.Emit(p.eng.Now(), obs.LayerCondor, "stall_abort",
 					obs.F("job", q.Job.ID))
 			}
-			p.forgetJob(q)
 			if p.OnTerminal != nil {
 				p.OnTerminal(q)
 			}
@@ -668,9 +953,34 @@ func (p *Pool) PokeNegotiation() {
 	}
 }
 
+// SetOffline marks a machine lost or repaired. The fault layer must route
+// startd state changes through here rather than writing Machine.Offline
+// directly, so the dirty-cycle tracker knows the machine set changed.
+func (p *Pool) SetOffline(m *Machine, offline bool) {
+	if m.Offline == offline {
+		return
+	}
+	m.Offline = offline
+	p.dirty = true
+}
+
+// NegotiateOnce runs one synchronous matchmaking cycle outside the engine's
+// event loop, forcing a full scan (the dirty-cycle short-circuit is
+// bypassed) and suppressing both the follow-up negotiation the cycle would
+// normally schedule and any stall-counter accumulation. Benchmarks and tests
+// use it to measure one isolated cycle against a prepared queue.
+func (p *Pool) NegotiateOnce() {
+	p.dirty = true
+	scheduled, at, empty := p.negScheduled, p.nextNegAt, p.emptyCycles
+	p.negScheduled, p.nextNegAt = true, 0 // makes requestNegotiation a no-op
+	p.negotiate()
+	p.negScheduled, p.nextNegAt, p.emptyCycles = scheduled, at, empty
+}
+
 // claim reserves the machine's advertised resources and dispatches the job
 // through the shadow/starter path.
 func (p *Pool) claim(q *QueuedJob, m *Machine) {
+	p.dirty = true
 	q.State = Dispatched
 	q.Machine = m
 	m.FreeMem -= q.Job.Mem
@@ -705,6 +1015,7 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 
 // jobDone releases the claim and either retires or resubmits the job.
 func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
+	p.dirty = true
 	p.usage[q.User] += p.eng.Now() - q.runStart
 	m.FreeMem += q.Job.Mem
 	m.ResidentThreads -= q.Job.Threads
@@ -736,7 +1047,6 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 	}
 	q.EndTime = p.eng.Now()
 	p.noteEnd(q.EndTime)
-	p.forgetJob(q)
 	if p.OnTerminal != nil {
 		p.OnTerminal(q)
 	}

@@ -97,7 +97,16 @@ type Config struct {
 	// reusable Solver. It exists purely for determinism validation: the two
 	// paths must produce bit-identical plans, which the regression test in
 	// internal/experiments asserts by running the full stack both ways.
+	// It also disables the per-round solve memo (see DisableRoundMemo).
 	ReferenceSolver bool
+	// DisableRoundMemo turns off the knapsack solve memo that returns a
+	// cached Result when an identical instance (same capacities,
+	// granularities, and item multiset) recurs across planning rounds — as
+	// it does every steady-state cycle in which no job started or finished.
+	// The memo key captures the entire instance, so memoized and recomputed
+	// plans are bit-identical; the flag exists for the equivalence
+	// regression and the chaos swarm's diff mode.
+	DisableRoundMemo bool
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +158,30 @@ type Scheduler struct {
 	// lastPlanned counts the jobs pinned by the most recent planning round
 	// (instrumentation).
 	lastPlanned int
+	// lastFast records whether the most recent solve (memoized or not) was
+	// satisfied by the solver's fast path. packDevice reads it instead of
+	// solver.TookFastPath(), which is stale after a memo hit.
+	lastFast bool
+
+	// memo caches solve results keyed by the full knapsack instance —
+	// capacities, granularities, and every item's (mem, threads, value) in
+	// order. Successive negotiation cycles with an unchanged cluster state
+	// pose byte-identical instances, so the steady state costs one map
+	// probe per device instead of a DP. memoKey is the reusable key
+	// scratch; probing with map[string(memoKey)] does not allocate.
+	memo    map[string]memoEntry
+	memoKey []byte
+
+	// Planning-round scratch, reused across cycles so steady-state planning
+	// is allocation-free: the candidate window, the plan map (cleared per
+	// round), and packDevice's item/selection buffers.
+	remScratch    []*condor.QueuedJob
+	planScratch   map[*condor.QueuedJob]string
+	itemScratch   []knapsack.Item
+	chosenScratch []bool
+	pickedScratch []*condor.QueuedJob
+	restItems     []knapsack.Item
+	restJobs      []*condor.QueuedJob
 
 	// Observability (SetObserver); nil handles no-op when disabled.
 	obs         *obs.Observer
@@ -157,11 +190,27 @@ type Scheduler struct {
 	obsDeferred *obs.Counter
 	obsDP       *obs.Counter
 	obsFast     *obs.Counter
+	obsMemoHit  *obs.Counter
+	obsMemoMiss *obs.Counter
 }
+
+// memoEntry is a cached solve: the Result (whose Selected slice is owned by
+// the memo and treated as read-only by every caller) plus whether the
+// original solve took the solver's fast path.
+type memoEntry struct {
+	res  knapsack.Result
+	fast bool
+}
+
+// memoCap bounds the solve memo; a workload that keeps generating fresh
+// instances wholesale-clears it rather than growing without bound.
+const memoCap = 4096
 
 // New returns an MCCK scheduler.
 func New(cfg Config) *Scheduler {
-	return &Scheduler{cfg: cfg.withDefaults(), solver: knapsack.NewSolver()}
+	return &Scheduler{cfg: cfg.withDefaults(), solver: knapsack.NewSolver(),
+		memo:        map[string]memoEntry{},
+		planScratch: map[*condor.QueuedJob]string{}}
 }
 
 // SetObserver attaches the observability layer and resolves the scheduler's
@@ -173,23 +222,73 @@ func (s *Scheduler) SetObserver(o *obs.Observer) {
 	s.obsDeferred = o.Counter("core_jobs_deferred_total")
 	s.obsDP = o.Counter("core_knapsack_dp_solves_total")
 	s.obsFast = o.Counter("core_knapsack_fastpath_solves_total")
+	s.obsMemoHit = o.Counter("core_round_memo_hits_total")
+	s.obsMemoMiss = o.Counter("core_round_memo_misses_total")
 }
 
 // solve dispatches one knapsack instance to the reusable solver, or to the
-// reference DP when the determinism harness asks for it.
+// reference DP when the determinism harness asks for it. Unless disabled,
+// identical instances are answered from the round memo: the key encodes the
+// complete instance, so a hit returns exactly what re-solving would.
 func (s *Scheduler) solve(cfg knapsack.Config, items []knapsack.Item) knapsack.Result {
 	if s.cfg.ReferenceSolver {
-		// The reference path always runs the full DP.
+		// The reference path always runs the full DP, unmemoized.
 		s.obsDP.Inc()
+		s.lastFast = false
 		return knapsack.SolveReference(cfg, items)
 	}
+	if s.cfg.DisableRoundMemo {
+		res := s.solver.Solve(cfg, items)
+		s.lastFast = s.solver.TookFastPath()
+		s.noteSolveKind()
+		return res
+	}
+	k := s.memoKey[:0]
+	k = appendInt(k, int64(cfg.MemCapacity))
+	k = appendInt(k, int64(cfg.MemGranularity))
+	k = appendInt(k, int64(cfg.ThreadCapacity))
+	k = appendInt(k, int64(cfg.ThreadGranularity))
+	for _, it := range items {
+		k = appendInt(k, int64(it.Mem))
+		k = appendInt(k, int64(it.Threads))
+		k = appendInt(k, it.Value)
+	}
+	s.memoKey = k
+	if e, ok := s.memo[string(k)]; ok { // no-alloc map probe
+		s.obsMemoHit.Inc()
+		s.lastFast = e.fast
+		s.noteSolveKind()
+		return e.res
+	}
+	s.obsMemoMiss.Inc()
 	res := s.solver.Solve(cfg, items)
-	if s.solver.TookFastPath() {
+	s.lastFast = s.solver.TookFastPath()
+	s.noteSolveKind()
+	if len(s.memo) >= memoCap {
+		clear(s.memo)
+	}
+	s.memo[string(k)] = memoEntry{res: res, fast: s.lastFast}
+	return res
+}
+
+// noteSolveKind counts the solve against the DP or fast-path series (memo
+// hits count as whichever kind the original solve was, so the two series
+// still sum to the number of instances posed).
+func (s *Scheduler) noteSolveKind() {
+	if s.lastFast {
 		s.obsFast.Inc()
 	} else {
 		s.obsDP.Inc()
 	}
-	return res
+}
+
+// appendInt appends a fixed-width big-endian encoding of v, keeping the memo
+// key injective (variable-width encodings could make distinct instances
+// collide).
+func appendInt(dst []byte, v int64) []byte {
+	u := uint64(v)
+	return append(dst, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 }
 
 // Name implements condor.Policy.
@@ -260,10 +359,11 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 	if len(window) > s.cfg.Window {
 		window = window[:s.cfg.Window]
 	}
-	remaining := make([]*condor.QueuedJob, len(window))
-	copy(remaining, window)
+	remaining := append(s.remScratch[:0], window...)
+	s.remScratch = remaining
 
-	plan := map[*condor.QueuedJob]string{}
+	clear(s.planScratch)
+	plan := s.planScratch
 	for _, m := range p.Machines() {
 		if len(remaining) == 0 {
 			break
@@ -272,14 +372,14 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 		if len(picked) == 0 {
 			continue
 		}
-		taken := map[*condor.QueuedJob]bool{}
 		for _, q := range picked {
 			plan[q] = m.Name
-			taken[q] = true
 		}
-		var rest []*condor.QueuedJob
+		// In-place filter: drop the jobs this device took (picked is always
+		// a subset of remaining, so a plan lookup identifies them).
+		rest := remaining[:0]
 		for _, q := range remaining {
-			if !taken[q] {
+			if _, ok := plan[q]; !ok {
 				rest = append(rest, q)
 			}
 		}
@@ -299,6 +399,7 @@ func (s *Scheduler) computePlan(p *condor.Pool) map[*condor.QueuedJob]string {
 }
 
 // packDevice packs one device's knapsack from the candidate jobs.
+
 func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*condor.QueuedJob) []*condor.QueuedJob {
 	if m.Offline {
 		// A lost node must not receive plan pins: the pinned jobs would sit
@@ -317,17 +418,24 @@ func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*
 	}
 
 	scale := knapsack.CountBonusScale(len(candidates))
-	items := make([]knapsack.Item, len(candidates))
-	for i, q := range candidates {
-		items[i] = knapsack.Item{
+	items := s.itemScratch[:0]
+	for _, q := range candidates {
+		items = append(items, knapsack.Item{
 			Mem:     q.Job.Mem,
 			Threads: q.Job.Threads,
 			Value:   s.cfg.Value(q.Job.Threads, hw)*scale + 1,
-		}
+		})
 	}
+	s.itemScratch = items
 
-	var picked []*condor.QueuedJob
-	chosen := make([]bool, len(candidates))
+	picked := s.pickedScratch[:0]
+	if cap(s.chosenScratch) < len(candidates) {
+		s.chosenScratch = make([]bool, len(candidates))
+	}
+	chosen := s.chosenScratch[:len(candidates)]
+	for i := range chosen {
+		chosen[i] = false
+	}
 	var stage1Value int64
 	stage1Fast := false
 
@@ -343,7 +451,7 @@ func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*
 		}
 		res := s.solve(cfg, items)
 		stage1Value = res.Value
-		stage1Fast = !s.cfg.ReferenceSolver && s.solver.TookFastPath()
+		stage1Fast = !s.cfg.ReferenceSolver && s.lastFast
 		for _, idx := range res.Selected {
 			chosen[idx] = true
 			picked = append(picked, candidates[idx])
@@ -367,14 +475,15 @@ func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*
 		for _, q := range picked {
 			fillThreads -= q.Job.Threads
 		}
-		var restItems []knapsack.Item
-		var restJobs []*condor.QueuedJob
+		restItems := s.restItems[:0]
+		restJobs := s.restJobs[:0]
 		for i, q := range candidates {
 			if !chosen[i] {
 				restItems = append(restItems, items[i])
 				restJobs = append(restJobs, q)
 			}
 		}
+		s.restItems, s.restJobs = restItems, restJobs
 		if len(restItems) > 0 && fillThreads > 0 {
 			res := s.solve(knapsack.Config{
 				MemCapacity:       memBudget,
@@ -392,6 +501,7 @@ func (s *Scheduler) packDevice(p *condor.Pool, m *condor.Machine, candidates []*
 	if len(picked) > slotBudget {
 		picked = picked[:slotBudget]
 	}
+	s.pickedScratch = picked
 	if s.obs != nil {
 		ids := make([]int, len(picked))
 		for i, q := range picked {

@@ -94,6 +94,15 @@ type Manager struct {
 	admitted []*phi.Process
 	stats    Stats
 
+	// reqFree recycles request structs: one is taken per Offload and
+	// returned (zeroed) the moment it leaves the system — dispatched, or
+	// aborted because its owner died — so a long run allocates only as many
+	// requests as its peak queue depth. pumpScratch is pump's double buffer:
+	// the surviving queue is rebuilt into it and the buffers swap roles, so
+	// the rebuild allocates nothing.
+	reqFree     []*request
+	pumpScratch []*request
+
 	// Bypass enables first-fit scanning of the wait queue: narrow offloads
 	// may overtake a blocked wide one. Default false (strict arrival
 	// order); see the package comment.
@@ -309,7 +318,8 @@ func (m *Manager) Offload(p *phi.Process, threads units.Threads, work units.Tick
 		m.eng.After(0, func() { done(phi.OffloadAborted) })
 		return
 	}
-	req := &request{proc: p, threads: threads, work: work, done: done, enqueued: m.eng.Now()}
+	req := m.newRequest()
+	*req = request{proc: p, threads: threads, work: work, done: done, enqueued: m.eng.Now()}
 	m.queue = append(m.queue, req)
 	m.pump()
 	// Record queue depth only after the pump: an offload that dispatches
@@ -337,6 +347,27 @@ func dispatched(req *request, queue []*request) bool {
 		}
 	}
 	return true
+}
+
+// newRequest takes a request from the free list, or allocates one.
+func (m *Manager) newRequest() *request {
+	if n := len(m.reqFree); n > 0 {
+		req := m.reqFree[n-1]
+		m.reqFree[n-1] = nil
+		m.reqFree = m.reqFree[:n-1]
+		return req
+	}
+	return &request{}
+}
+
+// freeRequest zeroes req (dropping its proc/done references) and returns it
+// to the free list. Callers must have captured anything they still need —
+// the Offload path's dispatched() check only compares the pointer, which
+// stays valid; no new request can be taken from the list before that check
+// runs, because the intervening code path allocates none.
+func (m *Manager) freeRequest(req *request) {
+	*req = request{}
+	m.reqFree = append(m.reqFree, req)
 }
 
 // enforceContainer kills p if committing wouldCommit MB would exceed the
@@ -368,7 +399,7 @@ func (m *Manager) enforceContainer(p *phi.Process, wouldCommit units.MB) bool {
 // wherever they sit — they consume no threads.
 func (m *Manager) pump() {
 	free := m.dev.FreeHWThreads()
-	var remaining []*request
+	remaining := m.pumpScratch[:0]
 	blocked := false
 	for _, req := range m.queue {
 		switch {
@@ -376,6 +407,7 @@ func (m *Manager) pump() {
 			// Owner died while queued: abort its offload.
 			done := req.done
 			m.eng.After(0, func() { done(phi.OffloadAborted) })
+			m.freeRequest(req)
 		case (!blocked || m.Bypass) && req.threads <= free:
 			free -= req.threads
 			m.dispatch(req)
@@ -384,6 +416,9 @@ func (m *Manager) pump() {
 			remaining = append(remaining, req)
 		}
 	}
+	// Swap buffers: the old queue (its surviving entries now in remaining)
+	// becomes the next pump's scratch.
+	m.pumpScratch = m.queue[:0]
 	m.queue = remaining
 	m.noteDepth()
 }
@@ -408,4 +443,5 @@ func (m *Manager) dispatch(req *request) {
 		m.pump()
 		m.pumpAdmits()
 	})
+	m.freeRequest(req)
 }

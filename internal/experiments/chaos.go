@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 
 	"phishare/internal/condor"
+	"phishare/internal/core"
 	"phishare/internal/faults"
 	"phishare/internal/job"
+	"phishare/internal/metrics"
 	"phishare/internal/rng"
 )
 
@@ -32,6 +35,15 @@ type ChaosConfig struct {
 	// headroom for injected crashes, or every fault cascades into a
 	// Failed job and nothing exercises the resubmit path).
 	Retries int
+	// DiffReference makes every cell run twice — once on the optimized
+	// fast paths and once with autoclusters, the match cache, round
+	// memoization and the sparse knapsack solver all force-disabled — and
+	// diffs the two runs' summary metrics and full per-job record streams
+	// bit for bit. Any divergence is reported as a violation: under fault
+	// injection the caches see invalidation orders the clean-path
+	// equivalence tests never produce, so this is the adversarial version
+	// of that guarantee.
+	DiffReference bool
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -84,20 +96,79 @@ func (f ChaosFailure) String() string {
 }
 
 // ChaosRun executes one (seed, profile, policy) cell under the invariant
-// checker and returns its violations (nil when clean). Panics propagate to
-// the caller.
+// checker and returns its violations (nil when clean). With
+// c.DiffReference set it also replays the cell on the reference paths and
+// reports any outcome divergence. Panics propagate to the caller.
 func ChaosRun(c ChaosConfig, seed int64, prof faults.Profile, policy string) []string {
 	c = c.withDefaults()
+	res, records, violations := chaosCell(c, seed, prof, policy, false)
+	if !c.DiffReference {
+		return violations
+	}
+	refRes, refRecords, refViolations := chaosCell(c, seed, prof, policy, true)
+	violations = append(violations, refViolations...)
+	return append(violations, diffOutcomes(res, records, refRes, refRecords)...)
+}
+
+// chaosCell runs one swarm cell under a fresh fault harness, on either the
+// optimized or the reference configuration, and returns the run outcome
+// plus the harness's invariant violations. Both configurations see the
+// identical injection schedule: the injector is driven purely by
+// (profile, seed).
+func chaosCell(c ChaosConfig, seed int64, prof faults.Profile, policy string, reference bool) (Result, []metrics.JobRecord, []string) {
 	h := &faults.Harness{Profile: prof, Seed: seed, Check: true}
-	Run(RunConfig{
+	cfg := RunConfig{
 		Policy: policy,
 		Nodes:  c.Nodes,
 		Jobs:   job.GenerateTableOneSet(c.Jobs, rng.New(seed).Fork("tableI")),
 		Seed:   seed,
 		Condor: condor.Config{MaxRetries: c.Retries},
 		Chaos:  h,
-	})
-	return h.Finish()
+	}
+	if reference {
+		cfg.Condor.DisableMatchCache = true
+		cfg.Condor.DisableAutoclusters = true
+		cfg.Core = core.Config{ReferenceSolver: true, DisableRoundMemo: true}
+	}
+	var records []metrics.JobRecord
+	cfg.RecordSink = &records
+	res := Run(cfg)
+	violations := h.Finish()
+	if reference {
+		for i, v := range violations {
+			violations[i] = "reference path: " + v
+		}
+	}
+	return res, records, violations
+}
+
+// diffOutcomes compares an optimized run against its reference replay and
+// describes every observable divergence. The record streams must match bit
+// for bit — same jobs, same states, same timestamps, same placements.
+func diffOutcomes(res Result, records []metrics.JobRecord, refRes Result, refRecords []metrics.JobRecord) []string {
+	var diffs []string
+	if res.Makespan != refRes.Makespan {
+		diffs = append(diffs, fmt.Sprintf("diff: makespan %v != reference %v", res.Makespan, refRes.Makespan))
+	}
+	if res.Utilization != refRes.Utilization {
+		diffs = append(diffs, fmt.Sprintf("diff: utilization %v != reference %v", res.Utilization, refRes.Utilization))
+	}
+	if res.MaxConcurrency != refRes.MaxConcurrency {
+		diffs = append(diffs, fmt.Sprintf("diff: max concurrency %d != reference %d", res.MaxConcurrency, refRes.MaxConcurrency))
+	}
+	if res.Summary != refRes.Summary {
+		diffs = append(diffs, fmt.Sprintf("diff: summary %+v != reference %+v", res.Summary, refRes.Summary))
+	}
+	if len(records) != len(refRecords) {
+		return append(diffs, fmt.Sprintf("diff: %d job records != reference %d", len(records), len(refRecords)))
+	}
+	for i := range records {
+		if !reflect.DeepEqual(records[i], refRecords[i]) {
+			diffs = append(diffs, fmt.Sprintf("diff: record %d: %+v != reference %+v", i, records[i], refRecords[i]))
+			break // the first divergence is the reproduction recipe; the rest is noise
+		}
+	}
+	return diffs
 }
 
 // ChaosSwarm sweeps the full seed × profile × policy grid and returns every

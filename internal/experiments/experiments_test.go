@@ -8,6 +8,7 @@ import (
 
 	"phishare/internal/condor"
 	"phishare/internal/core"
+	"phishare/internal/faults"
 	"phishare/internal/job"
 	"phishare/internal/metrics"
 	"phishare/internal/rng"
@@ -623,5 +624,89 @@ func TestMeanStd(t *testing.T) {
 	}
 	if m, s := meanStd(nil); m != 0 || s != 0 {
 		t.Errorf("empty meanStd = %v, %v", m, s)
+	}
+}
+
+// TestReferencePathOutcomeEquivalence is the acceptance gate for the
+// autocluster + sparse-solver generation of optimizations: across seeds ×
+// policies × fault regimes, a run with every optimization enabled must be
+// bit-for-bit identical — job record stream, makespan, summary, utilization,
+// concurrency — to the same run with every optimization forced onto its
+// reference path (legacy per-pair matchmaking, no match cache, reference
+// dense knapsack, no round memo). Faulted cells run under the light chaos
+// profile with invariant checking, so the equivalence also covers the
+// dirty-cycle bookkeeping that fault transitions exercise.
+func TestReferencePathOutcomeEquivalence(t *testing.T) {
+	type outcome struct {
+		makespan       units.Tick
+		utilization    float64
+		maxConcurrency int
+		summary        metrics.Summary
+		records        []metrics.JobRecord
+	}
+	cell := func(policy string, seed int64, faulted, reference bool) outcome {
+		jobs := job.GenerateTableOneSet(60, rng.New(seed).Fork("tableI"))
+		cfg := RunConfig{Policy: policy, Nodes: 3, Jobs: jobs, Seed: seed}
+		var recs []metrics.JobRecord
+		cfg.RecordSink = &recs
+		if reference {
+			cfg.Condor = condor.Config{DisableMatchCache: true, DisableAutoclusters: true}
+			cfg.Core = core.Config{ReferenceSolver: true, DisableRoundMemo: true}
+		}
+		var h *faults.Harness
+		if faulted {
+			h = &faults.Harness{Profile: faults.LightProfile(), Seed: seed, Check: true}
+			cfg.Chaos = h
+		}
+		res := Run(cfg)
+		if h != nil {
+			if violations := h.Finish(); len(violations) > 0 {
+				t.Fatalf("%s seed %d (reference=%v): invariant violations: %v",
+					policy, seed, reference, violations)
+			}
+		}
+		return outcome{res.Makespan, res.Utilization, res.MaxConcurrency, res.Summary, recs}
+	}
+	for _, policy := range []string{PolicyMC, PolicyMCC, PolicyMCCK} {
+		for seed := int64(1); seed <= 10; seed++ {
+			for _, faulted := range []bool{false, true} {
+				opt := cell(policy, seed, faulted, false)
+				ref := cell(policy, seed, faulted, true)
+				if opt.makespan != ref.makespan || opt.utilization != ref.utilization ||
+					opt.maxConcurrency != ref.maxConcurrency || opt.summary != ref.summary {
+					t.Errorf("%s seed %d faulted=%v: aggregates diverge:\noptimized %+v\nreference %+v",
+						policy, seed, faulted, opt.summary, ref.summary)
+				}
+				if !reflect.DeepEqual(opt.records, ref.records) {
+					for i := range opt.records {
+						if i < len(ref.records) && opt.records[i] != ref.records[i] {
+							t.Errorf("%s seed %d faulted=%v: record %d differs:\noptimized %+v\nreference %+v",
+								policy, seed, faulted, i, opt.records[i], ref.records[i])
+							break
+						}
+					}
+					t.Fatalf("%s seed %d faulted=%v: record stream diverges (%d vs %d records)",
+						policy, seed, faulted, len(opt.records), len(ref.records))
+				}
+			}
+		}
+	}
+	// Footprint (the paper's cluster-size-for-equal-makespan metric) runs a
+	// search over cluster sizes, so spot-check it on a couple of cells
+	// rather than the full grid.
+	for _, seed := range []int64{1, 2} {
+		jobs := job.GenerateTableOneSet(60, rng.New(seed).Fork("tableI"))
+		base := Run(RunConfig{Policy: PolicyMC, Nodes: 3, Jobs: jobs, Seed: seed})
+		optFP, optOK := Footprint(RunConfig{Policy: PolicyMCCK, Nodes: 3, Jobs: jobs, Seed: seed},
+			base.Makespan, 6)
+		refFP, refOK := Footprint(RunConfig{
+			Policy: PolicyMCCK, Nodes: 3, Jobs: jobs, Seed: seed,
+			Condor: condor.Config{DisableMatchCache: true, DisableAutoclusters: true},
+			Core:   core.Config{ReferenceSolver: true, DisableRoundMemo: true},
+		}, base.Makespan, 6)
+		if optFP != refFP || optOK != refOK {
+			t.Errorf("seed %d: footprint diverges: optimized (%d, %v) vs reference (%d, %v)",
+				seed, optFP, optOK, refFP, refOK)
+		}
 	}
 }

@@ -111,6 +111,31 @@ func TestInvariantSwarm(t *testing.T) {
 	}
 }
 
+// TestChaosDiffSwarm is the reference-diff half of the `make chaos` gate:
+// a seed sweep where every cell replays with autoclusters, the match
+// cache, round memoization and the sparse knapsack solver force-disabled,
+// and the two runs' job-record streams must agree bit for bit. Each cell
+// costs two full runs (the reference solver is the expensive dense DP), so
+// the sweep is narrower than TestInvariantSwarm's.
+func TestChaosDiffSwarm(t *testing.T) {
+	seeds := 10
+	if env := os.Getenv("CHAOS_DIFF_SEEDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_DIFF_SEEDS=%q", env)
+		}
+		seeds = n
+	} else if testing.Short() {
+		seeds = 3
+	}
+	cfg := ChaosConfig{Seeds: seeds, DiffReference: true, Logf: t.Logf}
+	failures := ChaosSwarm(cfg)
+	for _, f := range failures {
+		t.Errorf("%s\n  replay: go run ./cmd/phichaos -diff -seeds 1 -seed0 %d -profiles %s -policies %s",
+			f, f.Seed, f.Profile, f.Policy)
+	}
+}
+
 // TestChaosRunReplaysSingleCell pins the replay path the swarm's failure
 // message advertises: one (seed, profile, policy) cell runs standalone and
 // deterministically.

@@ -287,7 +287,7 @@ func (inj *Injector) scheduleNodeLoss(n *cluster.Node, r *rng.Source) {
 		}
 		for _, u := range n.Devices {
 			if m := inj.machineOf[u]; m != nil {
-				m.Offline = true
+				inj.pool.SetOffline(m, true)
 			}
 			if !u.Device.Down() {
 				inj.failDevice(u, "device_fail")
@@ -299,7 +299,7 @@ func (inj *Injector) scheduleNodeLoss(n *cluster.Node, r *rng.Source) {
 			}
 			for _, u := range n.Devices {
 				if m := inj.machineOf[u]; m != nil {
-					m.Offline = false
+					inj.pool.SetOffline(m, false)
 				}
 				inj.repairDevice(u, "device_repair")
 			}

@@ -1,0 +1,48 @@
+package knapsack
+
+import (
+	"testing"
+
+	"phishare/internal/units"
+)
+
+// benchItems builds a deterministic scheduler-shaped instance: Eq. 1 values
+// with the count-bonus tie-break, memory and thread requests spread across
+// the Table I ranges.
+func benchItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		th := units.Threads(16 + (i*53)%224)
+		items[i] = Item{
+			Mem:     units.MB(200 + (i*97)%1800),
+			Threads: th,
+			Value:   Eq1Value(th, 240)*CountBonusScale(n) + 1,
+		}
+	}
+	return items
+}
+
+// BenchmarkSolve2D measures one full (memory × threads) solve past the
+// all-fits fast path — the unit of work of every MCC/MCCK planning round.
+func BenchmarkSolve2D(b *testing.B) {
+	cfg := Config{MemCapacity: 8000, ThreadCapacity: 480}
+	items := benchItems(48)
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(cfg, items)
+	}
+}
+
+// BenchmarkSolve2DReference is the dense reference DP on the same instance,
+// kept as the denominator for the sparse solver's speedup.
+func BenchmarkSolve2DReference(b *testing.B) {
+	cfg := Config{MemCapacity: 8000, ThreadCapacity: 480}
+	items := benchItems(48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveReference(cfg, items)
+	}
+}

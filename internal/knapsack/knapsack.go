@@ -33,6 +33,7 @@ package knapsack
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"phishare/internal/units"
@@ -155,34 +156,51 @@ func Solve(cfg Config, items []Item) Result {
 	return res
 }
 
-// Solver owns grow-only DP buffers that are reused across calls, so a
-// planning round of many knapsacks allocates only its Result slices. A
-// Solver is not safe for concurrent use; each simulation (goroutine) holds
-// its own.
+// Solver owns grow-only buffers that are reused across calls, so a planning
+// round of many knapsacks allocates only its Result slices. A Solver is not
+// safe for concurrent use; each simulation (goroutine) holds its own.
 //
 // The Solver is bit-for-bit equivalent to SolveReference: same Value, same
-// Selected indices, same tie-breaks. The optimizations are therefore limited
-// to representation and provably outcome-preserving pruning:
+// Selected indices, same tie-breaks. Instead of the reference's dense
+// (memory × threads) value matrix it maintains the sparse set of
+// Pareto-optimal DP states — the reachable (mem, threads) footprints that
+// are not dominated by a cheaper-or-equal footprint of at-least-equal value.
+// Every decision the reference makes is a strict `>` comparison between two
+// corner values dp(a, b) = max{value : footprint ≤ (a, b)}, and a corner
+// query is answered exactly by the frontier, so the sparse solver reproduces
+// the reference's selections and tie-breaks identically (see
+// TestSolverMatchesReference). On scheduler workloads the frontier stays
+// tiny — Eq. 1 values are near-uniform, so almost every state is dominated —
+// turning the O(n·W·T) dense sweep into a few hundred state merges.
 //
-//   - the take matrix is a bitset (one bit per DP state per item) instead of
-//     one bool slice per item;
-//   - budgets are capped at the total weight of individually feasible items
-//     (DP states beyond that sum are constant, so they are never
-//     materialized; reconstruction starts at the capped corner);
+// Two outcome-preserving shortcuts ride on top:
+//
 //   - if every feasible item fits together, the DP is skipped outright and
 //     the positive-value items are selected directly (the common tail-of-run
 //     case: a near-empty queue against a near-empty device);
-//   - zero-value items are skipped in the DP sweep (a strict `>` improvement
-//     test can never take them; the reference leaves their rows false too).
+//   - zero-value items are skipped (a strict `>` improvement test can never
+//     take them; the reference leaves their take rows false too).
 type Solver struct {
-	dp       []int64
-	take     []uint64
+	cur      []state // current Pareto frontier, sorted by (mem, threads)
+	shift    []state // scratch: frontier shifted by the item being merged
+	merged   []state // scratch: cur ∪ shift before dominance pruning
+	stair    []state // scratch: (threads, value) staircase for pruning
+	hist     []state // concatenated pre-item frontier snapshots
+	histOff  []int   // 2 ints per item: snapshot offset/len (-1 len: skipped)
 	weights  []int
 	tweights []int
 	// fast records whether the most recent Solve took the all-fits fast
 	// path. Kept on the Solver (not in Result) so Result stays bit-for-bit
 	// comparable against SolveReference's.
 	fast bool
+}
+
+// state is one Pareto-optimal DP state: the best value v over subsets whose
+// rounded footprint is exactly (m memory units, t thread units). The empty
+// subset (0, 0, 0) is always present and never dominated.
+type state struct {
+	m, t int
+	v    int64
 }
 
 // NewSolver returns an empty Solver; buffers grow on first use.
@@ -206,25 +224,6 @@ func (s *Solver) Solve(cfg Config, items []Item) Result {
 	return s.solve1D(cfg, items)
 }
 
-// growInt64 returns a zeroed slice of length n backed by buf when possible.
-func growInt64(buf []int64, n int) []int64 {
-	if cap(buf) < n {
-		return make([]int64, n)
-	}
-	buf = buf[:n]
-	clear(buf)
-	return buf
-}
-
-func growUint64(buf []uint64, n int) []uint64 {
-	if cap(buf) < n {
-		return make([]uint64, n)
-	}
-	buf = buf[:n]
-	clear(buf)
-	return buf
-}
-
 // growInts returns an *uninitialized* slice of length n (callers overwrite
 // every element).
 func growInts(buf []int, n int) []int {
@@ -234,8 +233,7 @@ func growInts(buf []int, n int) []int {
 	return buf[:n]
 }
 
-// solve1D is the paper's O(n·w) dynamic program over memory units, on
-// reused buffers with a bitset take matrix.
+// solve1D solves the paper's memory-only knapsack (no thread dimension).
 func (s *Solver) solve1D(cfg Config, items []Item) Result {
 	W := int(cfg.MemCapacity / cfg.MemGranularity) // capacity rounded down: conservative
 	if W == 0 {
@@ -257,42 +255,9 @@ func (s *Solver) solve1D(cfg Config, items []Item) Result {
 		s.fast = true
 		return takeAllFeasible(items, s.weights, nil, W, 0)
 	}
-	// States beyond the total feasible weight are constant; never
-	// materialize them (sumW > W here, so this is a no-op for 1-D, kept for
-	// symmetry with solve2D).
-	Wc := W
-
-	states := Wc + 1
-	stride := (states + 63) >> 6
-	s.dp = growInt64(s.dp, states)
-	s.take = growUint64(s.take, n*stride)
-	dp, take := s.dp, s.take
-	for i, it := range items {
-		w := s.weights[i]
-		if w > Wc || it.Value == 0 {
-			continue
-		}
-		base := i * stride
-		for m := Wc; m >= w; m-- {
-			if cand := dp[m-w] + it.Value; cand > dp[m] {
-				dp[m] = cand
-				take[base+(m>>6)] |= 1 << (uint(m) & 63)
-			}
-		}
-	}
-
-	res := Result{Value: dp[Wc]}
-	m := Wc
-	for i := n - 1; i >= 0; i-- {
-		if take[i*stride+(m>>6)]&(1<<(uint(m)&63)) != 0 {
-			res.Selected = append(res.Selected, i)
-			res.Mem += items[i].Mem
-			res.Threads += items[i].Threads
-			m -= s.weights[i]
-		}
-	}
-	reverse(res.Selected)
-	return res
+	// With tweights nil every thread weight is 0 and the thread budget 0 is
+	// never binding, so the sparse core degenerates to the 1-D recurrence.
+	return s.solveSparse(items, s.weights, nil, W, 0)
 }
 
 // solve2D bounds both memory and total threads:
@@ -326,56 +291,167 @@ func (s *Solver) solve2D(cfg Config, items []Item) Result {
 		s.fast = true
 		return takeAllFeasible(items, s.weights, s.tweights, W, T)
 	}
-	// DP states beyond the total feasible weight are constant; cap the
-	// budget axes there and reconstruct from the capped corner.
-	Wc, Tc := W, T
-	if sumW < Wc {
-		Wc = sumW
-	}
-	if sumT < Tc {
-		Tc = sumT
-	}
+	return s.solveSparse(items, s.weights, s.tweights, W, T)
+}
 
-	cols := Tc + 1
-	states := (Wc + 1) * cols
-	stride := (states + 63) >> 6
-	s.dp = growInt64(s.dp, states)
-	s.take = growUint64(s.take, n*stride)
-	dp, take := s.dp, s.take
+// solveSparse runs the Pareto-frontier DP and reconstructs the selection.
+//
+// Equivalence with the reference's dense in-place sweep: during the
+// reference's descending sweep for item i, both cells it reads still hold
+// the previous item's values, so its take bit at (m, t) is set iff
+//
+//	dp_{i-1}(m−w, t−tw) + v  >  dp_{i-1}(m, t)
+//
+// where dp_{i-1}(a, b) is the best value over subsets of items[0..i-1] with
+// footprint ≤ (a, b) — a corner query the frontier answers exactly (dropping
+// dominated states can never change a corner maximum, and states above
+// (W, T) can never be selected). The reconstruction below replays the
+// reference's descending walk from (W, T) evaluating that inequality
+// directly against the frontier snapshot taken before item i was merged.
+func (s *Solver) solveSparse(items []Item, weights, tweights []int, W, T int) Result {
+	n := len(items)
+	s.histOff = growInts(s.histOff, 2*n)
+	hist := s.hist[:0]
+	cur := append(s.cur[:0], state{})
 	for i, it := range items {
-		w, tw := s.weights[i], s.tweights[i]
-		if w > Wc || tw > Tc || it.Value == 0 {
+		w, tw := weights[i], 0
+		if tweights != nil {
+			tw = tweights[i]
+		}
+		if w > W || tw > T || it.Value == 0 {
+			s.histOff[2*i+1] = -1
 			continue
 		}
-		rowBase := i * stride
-		v := it.Value
-		for m := Wc; m >= w; m-- {
-			base := m * cols
-			prev := (m-w)*cols - tw
-			for t := Tc; t >= tw; t-- {
-				if cand := dp[prev+t] + v; cand > dp[base+t] {
-					dp[base+t] = cand
-					st := base + t
-					take[rowBase+(st>>6)] |= 1 << (uint(st) & 63)
-				}
-			}
+		s.histOff[2*i] = len(hist)
+		s.histOff[2*i+1] = len(cur)
+		hist = append(hist, cur...)
+		cur = s.mergeItem(cur, w, tw, it.Value, W, T)
+	}
+	s.hist = hist
+	s.cur = cur
+
+	var best int64
+	for _, st := range cur {
+		if st.v > best {
+			best = st.v
 		}
 	}
-
-	res := Result{Value: dp[Wc*cols+Tc]}
-	m, t := Wc, Tc
+	res := Result{Value: best}
+	m, t := W, T
 	for i := n - 1; i >= 0; i-- {
-		st := m*cols + t
-		if take[i*stride+(st>>6)]&(1<<(uint(st)&63)) != 0 {
+		plen := s.histOff[2*i+1]
+		if plen < 0 {
+			continue
+		}
+		w, tw := weights[i], 0
+		if tweights != nil {
+			tw = tweights[i]
+		}
+		if m < w || t < tw {
+			continue
+		}
+		off := s.histOff[2*i]
+		prev := hist[off : off+plen]
+		if corner(prev, m-w, t-tw)+items[i].Value > corner(prev, m, t) {
 			res.Selected = append(res.Selected, i)
 			res.Mem += items[i].Mem
 			res.Threads += items[i].Threads
-			m -= s.weights[i]
-			t -= s.tweights[i]
+			m -= w
+			t -= tw
 		}
 	}
 	reverse(res.Selected)
 	return res
+}
+
+// corner returns dp(a, b) = max{v : state (m, t, v) in P with m ≤ a, t ≤ b}.
+// P always contains the empty subset, so the maximum is at least 0.
+func corner(P []state, a, b int) int64 {
+	var best int64
+	for _, st := range P {
+		if st.m <= a && st.t <= b && st.v > best {
+			best = st.v
+		}
+	}
+	return best
+}
+
+// mergeItem folds one item into the frontier: cur ∪ (cur + item), clipped to
+// the budgets and pruned to the non-dominated states. cur must be sorted by
+// (m, t); the result reuses cur's storage (callers have already snapshotted
+// it) and preserves the invariant.
+func (s *Solver) mergeItem(cur []state, w, tw int, v int64, W, T int) []state {
+	shift := s.shift[:0]
+	for _, st := range cur {
+		if st.m+w <= W && st.t+tw <= T {
+			shift = append(shift, state{st.m + w, st.t + tw, st.v + v})
+		}
+	}
+	s.shift = shift
+
+	// Merge the two frontiers ordered by (m asc, t asc, v desc) so that at
+	// equal footprint the better value is seen first by the pruning pass.
+	merged := s.merged[:0]
+	i, j := 0, 0
+	for i < len(cur) && j < len(shift) {
+		if stateLess(cur[i], shift[j]) {
+			merged = append(merged, cur[i])
+			i++
+		} else {
+			merged = append(merged, shift[j])
+			j++
+		}
+	}
+	merged = append(merged, cur[i:]...)
+	merged = append(merged, shift[j:]...)
+	s.merged = merged
+
+	// Dominance pruning. Walking in (m, t, -v) order, every previously kept
+	// state has m ≤ the candidate's, so domination reduces to a (t, v) query
+	// over the kept set: is there a kept state with t ≤ cand.t and v ≥
+	// cand.v? The staircase holds that set's (t, v) Pareto view — t and v
+	// both strictly increasing — so the rightmost entry with t ≤ cand.t
+	// carries the best value at-or-under cand.t.
+	stair := s.stair[:0]
+	out := cur[:0]
+	for _, c := range merged {
+		kk := sort.Search(len(stair), func(x int) bool { return stair[x].t >= c.t })
+		last := kk - 1
+		if kk < len(stair) && stair[kk].t == c.t {
+			last = kk
+		}
+		if last >= 0 && stair[last].v >= c.v {
+			continue // dominated (or an exact duplicate)
+		}
+		out = append(out, c)
+		// Insert (c.t, c.v): entries with t ≥ c.t and v ≤ c.v are now
+		// dominated; with v ascending they form a prefix of stair[kk:].
+		drop := kk
+		for drop < len(stair) && stair[drop].v <= c.v {
+			drop++
+		}
+		switch {
+		case drop == kk: // pure insertion
+			stair = append(stair, state{})
+			copy(stair[kk+1:], stair[kk:])
+		case drop > kk+1: // replace the run with the one new entry
+			stair = append(stair[:kk+1], stair[drop:]...)
+		}
+		stair[kk] = state{t: c.t, v: c.v}
+	}
+	s.stair = stair
+	return out
+}
+
+// stateLess orders states by (m asc, t asc, v desc).
+func stateLess(a, b state) bool {
+	if a.m != b.m {
+		return a.m < b.m
+	}
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.v > b.v
 }
 
 // takeAllFeasible implements the all-fits fast path: select every

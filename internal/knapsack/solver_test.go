@@ -58,6 +58,79 @@ func TestSolverMatchesReference(t *testing.T) {
 	}
 }
 
+// TestSolverMatchesReferenceAdversarial targets the sparse frontier solver's
+// hard regimes, where dominance pruning is least effective or ties are
+// everywhere: duplicated items, near-equal values (maximal tie-breaking),
+// large all-distinct random values (maximal frontier growth), and tight
+// capacities where the budgets bind on both axes.
+func TestSolverMatchesReferenceAdversarial(t *testing.T) {
+	r := rand.New(rand.NewSource(99991))
+	s := NewSolver()
+	check := func(name string, cfg Config, items []Item) {
+		t.Helper()
+		want := SolveReference(cfg, items)
+		got := s.Solve(cfg, items)
+		if got.Value != want.Value || got.Mem != want.Mem || got.Threads != want.Threads ||
+			!reflect.DeepEqual(got.Selected, want.Selected) {
+			t.Fatalf("%s (cfg %+v, %d items):\n solver    %+v\n reference %+v",
+				name, cfg, len(items), got, want)
+		}
+	}
+	for round := 0; round < 60; round++ {
+		cfg := Config{
+			MemCapacity:       units.MB(200 + r.Intn(1800)),
+			MemGranularity:    units.MB(25 + r.Intn(50)),
+			ThreadCapacity:    units.Threads(8 + r.Intn(120)),
+			ThreadGranularity: units.Threads(1 + r.Intn(4)),
+		}
+		// Duplicates: few distinct shapes repeated many times. Identical
+		// items make every prefix value reachable many ways, so the
+		// reconstruction's index-order tie-break does all the work.
+		proto := make([]Item, 1+r.Intn(4))
+		for i := range proto {
+			proto[i] = Item{
+				Mem:     units.MB(1 + r.Intn(800)),
+				Threads: units.Threads(r.Intn(64)),
+				Value:   int64(r.Intn(4)), // tiny range: constant ties, zeros
+			}
+		}
+		var dup []Item
+		for i := 0; i < 24; i++ {
+			dup = append(dup, proto[r.Intn(len(proto))])
+		}
+		check("duplicates", cfg, dup)
+
+		// Distinct large values: nothing dominates, the frontier grows as
+		// large as the instance allows.
+		distinct := make([]Item, 16+r.Intn(16))
+		for i := range distinct {
+			distinct[i] = Item{
+				Mem:     units.MB(1 + r.Intn(600)),
+				Threads: units.Threads(r.Intn(48)),
+				Value:   int64(1+r.Intn(1<<30)) << uint(r.Intn(20)),
+			}
+		}
+		check("distinct-values", cfg, distinct)
+
+		// Tight budgets: every item is a large fraction of capacity, so both
+		// axes bind and most subsets are infeasible.
+		tight := make([]Item, 12)
+		for i := range tight {
+			tight[i] = Item{
+				Mem:     cfg.MemCapacity/2 + units.MB(r.Intn(int(cfg.MemCapacity))),
+				Threads: cfg.ThreadCapacity/2 + units.Threads(r.Intn(int(cfg.ThreadCapacity))),
+				Value:   int64(1 + r.Intn(100)),
+			}
+		}
+		check("tight-budgets", cfg, tight)
+
+		// 1-D versions of the same regimes.
+		cfg1 := Config{MemCapacity: cfg.MemCapacity, MemGranularity: cfg.MemGranularity}
+		check("duplicates-1d", cfg1, dup)
+		check("distinct-values-1d", cfg1, distinct)
+	}
+}
+
 // TestSolverSelectionFeasible checks the solution invariants the scheduler
 // relies on: selections are ascending, within capacity, and deduplicated.
 func TestSolverSelectionFeasible(t *testing.T) {

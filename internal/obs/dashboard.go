@@ -59,6 +59,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 	sb.WriteString("</p>\n")
 
 	o.writeSparklines(&sb)
+	o.writeSchedulerCachePanel(&sb)
 	o.writeCounterTable(&sb)
 	o.writeGaugeTable(&sb)
 	o.writeHistogramTable(&sb)
@@ -138,6 +139,65 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeSchedulerCachePanel renders the matchmaking/allocation fast-path
+// scorecard: how much work the autocluster grouping, the dirty-cycle
+// short-circuit, the match cache and the knapsack round memo actually
+// avoided in this run. Raw counts live in the Counters table below; this
+// panel derives the headline ratios. Omitted entirely when none of the
+// underlying series exist (e.g. a run that never built a condor pool).
+func (o *Observer) writeSchedulerCachePanel(sb *strings.Builder) {
+	if o.Reg == nil {
+		return
+	}
+	cnt := func(id string) (int64, bool) {
+		c, ok := o.Reg.counters[id]
+		if !ok {
+			return 0, false
+		}
+		return c.Value(), true
+	}
+	type row struct {
+		name, detail string
+		num, den     int64
+		ok           bool
+	}
+	saved, okSaved := cnt("condor_autocluster_evals_saved_total")
+	matches, _ := cnt("condor_matches_total")
+	skips, okSkips := cnt("condor_negotiation_skips_total")
+	negs, _ := cnt("condor_negotiations_total")
+	hits, okHits := cnt("condor_match_cache_hits_total")
+	misses, _ := cnt("condor_match_cache_misses_total")
+	invs, _ := cnt("condor_match_cache_invalidations_total")
+	mHits, okMemo := cnt("core_round_memo_hits_total")
+	mMisses, _ := cnt("core_round_memo_misses_total")
+	rows := []row{
+		{"autocluster evals saved", "Match evaluations answered by a sibling job's verdict", saved, saved + matches, okSaved},
+		{"dirty-cycle skips", "negotiation cycles short-circuited as provable no-ops", skips, skips + negs, okSkips},
+		{"match-cache hit rate", "cache consultations answered without re-evaluating", hits, hits + misses + invs, okHits},
+		{"round-memo hit rate", "knapsack rounds served from the per-cycle memo", mHits, mHits + mMisses, okMemo},
+	}
+	any := false
+	for _, r := range rows {
+		any = any || r.ok
+	}
+	if !any {
+		return
+	}
+	sb.WriteString("<h2>Scheduler caches</h2>\n<table><tr><th>fast path</th><th>saved</th><th>of</th><th>rate</th><th></th></tr>\n")
+	for _, r := range rows {
+		if !r.ok {
+			continue
+		}
+		rate := "&ndash;"
+		if r.den > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(r.num)/float64(r.den))
+		}
+		fmt.Fprintf(sb, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+			html.EscapeString(r.name), r.num, r.den, rate, html.EscapeString(r.detail))
+	}
+	sb.WriteString("</table>\n")
 }
 
 func (o *Observer) writeCounterTable(sb *strings.Builder) {

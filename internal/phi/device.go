@@ -230,8 +230,18 @@ type Device struct {
 	warmThreads units.Threads
 
 	lastAdvance units.Tick
-	timer       *sim.Timer
-	lastBusy    int
+	// timerGen cancels completion ticks by generation: replan bumps it and
+	// schedules a plain pooled event carrying the new value; a fired event
+	// whose generation is stale was superseded and does nothing. This
+	// replaces a sim.Timer per replan (timer struct + wrapper closure) with
+	// one closure on the engine's pooled event path.
+	timerGen uint64
+	lastBusy int
+
+	// Completion-tick scratch (onCompletionTick fires once per offload
+	// completion; these keep the partition of d.offloads allocation-free).
+	finishedScratch []*offload
+	stillScratch    []*offload
 
 	stats Stats
 
@@ -578,10 +588,7 @@ const workEpsilon = 1e-6
 
 // replan schedules the next completion event under the current sharing rate.
 func (d *Device) replan() {
-	if d.timer != nil {
-		d.timer.Stop()
-		d.timer = nil
-	}
+	d.timerGen++ // supersede any outstanding completion tick
 	d.sample()
 	if len(d.offloads) == 0 {
 		return
@@ -601,16 +608,20 @@ func (d *Device) replan() {
 	// exactly the contention regimes the device passes through.
 	d.obsSpeed.Observe(rate)
 	dt := units.Tick(math.Ceil(min / rate))
-	d.timer = d.eng.AfterTimer(dt, d.onCompletionTick)
+	gen := d.timerGen
+	d.eng.After(dt, func() {
+		if gen == d.timerGen {
+			d.onCompletionTick()
+		}
+	})
 }
 
 // onCompletionTick fires when the earliest offload should be done; it
 // completes everything that has run out of work and replans.
 func (d *Device) onCompletionTick() {
-	d.timer = nil
 	d.advance()
-	var finished []*offload
-	var still []*offload
+	finished := d.finishedScratch[:0]
+	still := d.stillScratch[:0]
 	for _, o := range d.offloads {
 		if o.remaining <= workEpsilon {
 			finished = append(finished, o)
@@ -618,7 +629,10 @@ func (d *Device) onCompletionTick() {
 			still = append(still, o)
 		}
 	}
+	// Swap buffers: the old offload list becomes the next tick's scratch.
+	d.stillScratch = d.offloads[:0]
 	d.offloads = still
+	d.finishedScratch = finished
 	for _, o := range finished {
 		o.proc.off = nil
 		d.stats.OffloadsCompleted++
