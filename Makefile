@@ -7,7 +7,7 @@ GO ?= go
 # label its numbers land under. A perf PR records its baseline first:
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
-BENCH_OUT   ?= BENCH_5.json
+BENCH_OUT   ?= BENCH_6.json
 BENCH_LABEL ?= after
 
 # The regression suite: the hot-path micro-benchmarks plus the two macro
@@ -50,9 +50,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The worker counts the big-cell scaling sweep records. Each count lands
+# under its own ledger label ($(BENCH_LABEL)-bigcell-cpuN), because benchjson
+# collapses repeated names to per-metric minima and would otherwise fold the
+# sweep into one number.
+BENCH_CPUS ?= 1 2 4
+
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -count 1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)
+	for n in $(BENCH_CPUS); do \
+		$(GO) test -run '^$$' -bench '^BenchmarkBigCell$$' -benchmem -benchtime 1x -cpu $$n . \
+			| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)-bigcell-cpu$$n \
+			|| exit 1; \
+	done
 
 # Benchmark regression fence: re-measure the end-to-end macro benchmark and
 # fail if ns/op or allocs/op regressed more than 10% against the checked-in

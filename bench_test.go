@@ -269,6 +269,31 @@ func BenchmarkEndToEndMCCK(b *testing.B) {
 	}
 }
 
+// BenchmarkBigCell measures a cluster an order of magnitude past the
+// paper's testbed — 1,000 single-device nodes packing a 100,000-job Table I
+// stream under MCC — the scale the parallel simulation core exists for.
+// The serial sub-run forces the parallel core off; parallel runs with the
+// worker pool at GOMAXPROCS, so a `-cpu 1,2,4` sweep (see `make bench`)
+// charts worker scaling directly, and the bit-identical makespan-s metric
+// across every sub-run and cpu count is the determinism contract made
+// visible in the ledger.
+func BenchmarkBigCell(b *testing.B) {
+	jobs := job.GenerateTableOneSet(100_000, rng.New(17).Fork("tableI"))
+	run := func(b *testing.B, parallel bool) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.RunConfig{
+				Policy: experiments.PolicyMCC, Nodes: 1000, Jobs: jobs, Seed: 17,
+				Parallel: &parallel,
+			}
+			res := experiments.Run(cfg)
+			b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, false) })
+	b.Run("parallel", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkObsOverhead measures the observability layer against the same
 // end-to-end MCCK run as BenchmarkEndToEndMCCK: "disabled" is the baseline
 // (no observer attached — every instrumentation site is a nil check),

@@ -40,7 +40,7 @@ func main() {
 		jobs     = flag.Int("jobs", 18, "Table I jobs per run")
 		nodes    = flag.Int("nodes", 3, "cluster nodes per run")
 		retries  = flag.Int("retries", 4, "crash retry budget per job")
-		diff     = flag.Bool("diff", false, "replay every cell on the reference paths and diff outcomes bit-for-bit")
+		diff     = flag.Bool("diff", false, "replay every cell on the reference paths and with the parallel core forced off, diffing outcomes bit-for-bit")
 		verbose  = flag.Bool("v", false, "print progress lines")
 	)
 	flag.Parse()

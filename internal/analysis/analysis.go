@@ -109,6 +109,7 @@ func Analyzers() []*Analyzer {
 		MapIter,
 		FloatEq,
 		SortStable,
+		SimGoroutine,
 	}
 }
 

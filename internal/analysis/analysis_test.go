@@ -151,6 +151,11 @@ func TestScoping(t *testing.T) {
 		{SortStable, "internal/knapsack", true},
 		{SortStable, "internal/condor", true},
 		{SortStable, "internal/metrics", false},
+		{SimGoroutine, "internal/phi", true},
+		{SimGoroutine, "internal/condor", true},
+		{SimGoroutine, "internal/sim", false}, // the worker fork/join lives here
+		{SimGoroutine, "internal/obs", false},
+		{SimGoroutine, "cmd/phibench", false},
 	}
 	for _, tc := range cases {
 		if got := tc.analyzer.AppliesTo(tc.rel); got != tc.want {

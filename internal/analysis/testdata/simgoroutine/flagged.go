@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type racyDevice struct {
+	mu      sync.Mutex
+	done    chan struct{}
+	counter int64
+}
+
+func (d *racyDevice) start(work func()) {
+	go work()
+}
+
+func (d *racyDevice) signal() {
+	d.done <- struct{}{}
+}
+
+func (d *racyDevice) wait() {
+	<-d.done
+}
+
+func (d *racyDevice) pick(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func (d *racyDevice) bump() {
+	d.mu.Lock()
+	atomic.AddInt64(&d.counter, 1)
+	d.mu.Unlock()
+}

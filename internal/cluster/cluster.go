@@ -71,6 +71,11 @@ type DeviceUnit struct {
 	// Link is the node's PCIe interconnect, shared with the node's other
 	// devices.
 	Link *phi.Link
+	// Lane is the node's event lane: every event this unit's device, COSMIC
+	// manager, link or starter-side runner schedules is declared
+	// node-confined through it, which is what lets the parallel simulation
+	// core execute nodes concurrently between cross-node events.
+	Lane *sim.Lane
 }
 
 // Attach admits a job immediately, through COSMIC when present (bypassing
@@ -162,23 +167,25 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	root := rng.New(cfg.Seed).Fork("cluster")
 	c := &Cluster{cfg: cfg}
 	for n := 0; n < cfg.Nodes; n++ {
+		lane := eng.NodeLane(n)
 		node := &Node{
 			Name: fmt.Sprintf("node%d", n),
-			Link: phi.NewLink(eng, cfg.LinkBandwidthMBps),
+			Link: phi.NewLink(lane, cfg.LinkBandwidthMBps),
 		}
 		for d := 0; d < cfg.DevicesPerNode; d++ {
 			slot := fmt.Sprintf("slot%d@%s", d+1, node.Name)
 			util := metrics.NewCoreUtilization(cfg.Device.Cores)
-			dev := phi.NewDevice(eng, slot, cfg.Device, root.Fork(slot), util)
+			dev := phi.NewDevice(lane, slot, cfg.Device, root.Fork(slot), util)
 			unit := &DeviceUnit{
 				SlotName: slot,
 				NodeName: node.Name,
 				Device:   dev,
 				Util:     util,
 				Link:     node.Link,
+				Lane:     lane,
 			}
 			if cfg.UseCosmic {
-				unit.Cosmic = cosmic.New(eng, dev)
+				unit.Cosmic = cosmic.New(lane, dev)
 				unit.Cosmic.Bypass = cfg.CosmicBypass
 			}
 			node.Devices = append(node.Devices, unit)

@@ -261,6 +261,20 @@ type Config struct {
 	DisableAutoclusters bool
 }
 
+// Lookahead returns the smallest delay by which node-confined activity can
+// cause a cross-node event under this (defaulted) configuration: a job
+// completion triggers a negotiation after NotifyDelay, and — with claim
+// reuse — a dispatch after DispatchLatency. It is the conservative lookahead
+// the parallel simulation core needs (sim.Engine.SetParallel): no epoch
+// window of that width can hide a global event caused inside it.
+func (c Config) Lookahead() units.Tick {
+	c = c.withDefaults()
+	if c.DispatchLatency < c.NotifyDelay {
+		return c.DispatchLatency
+	}
+	return c.NotifyDelay
+}
+
 func (c Config) withDefaults() Config {
 	if c.NegotiationCycle == 0 {
 		c.NegotiationCycle = 10 * units.Second
@@ -1007,8 +1021,15 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 		}
 		q.runStart = p.eng.Now()
 		p.record(EventExecute, q, m.Name)
-		runner.Run(p.eng, m.Unit, q.Job, func(r runner.Result) {
-			p.jobDone(q, m, r)
+		runner.Run(m.Unit, q.Job, func(r runner.Result) {
+			// The completion fires on the machine's node lane; jobDone
+			// mutates pool-wide state (claims, usage, records, negotiation
+			// requests), so it is deferred to the cross-node context. Under
+			// the serial engine Global runs it immediately — the classic
+			// synchronous path.
+			m.Unit.Lane.Global(func() {
+				p.jobDone(q, m, r)
+			})
 		})
 	})
 }

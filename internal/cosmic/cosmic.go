@@ -82,7 +82,7 @@ type admitReq struct {
 
 // Manager is the COSMIC instance guarding one coprocessor.
 type Manager struct {
-	eng    *sim.Engine
+	eng    *sim.Lane
 	dev    *phi.Device
 	queue  []*request
 	admitQ []*admitReq
@@ -122,7 +122,7 @@ type Manager struct {
 
 // New wraps dev with a COSMIC manager and enables affinitized core
 // accounting on it.
-func New(eng *sim.Engine, dev *phi.Device) *Manager {
+func New(eng *sim.Lane, dev *phi.Device) *Manager {
 	dev.Affinitized = true
 	return &Manager{eng: eng, dev: dev}
 }

@@ -644,7 +644,7 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 		summary        metrics.Summary
 		records        []metrics.JobRecord
 	}
-	cell := func(policy string, seed int64, faulted, reference bool) outcome {
+	cell := func(policy string, seed int64, faulted, reference, serial bool) outcome {
 		jobs := job.GenerateTableOneSet(60, rng.New(seed).Fork("tableI"))
 		cfg := RunConfig{Policy: policy, Nodes: 3, Jobs: jobs, Seed: seed}
 		var recs []metrics.JobRecord
@@ -652,6 +652,10 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 		if reference {
 			cfg.Condor = condor.Config{DisableMatchCache: true, DisableAutoclusters: true}
 			cfg.Core = core.Config{ReferenceSolver: true, DisableRoundMemo: true}
+		}
+		if serial {
+			off := false
+			cfg.Parallel = &off
 		}
 		var h *faults.Harness
 		if faulted {
@@ -667,27 +671,37 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 		}
 		return outcome{res.Makespan, res.Utilization, res.MaxConcurrency, res.Summary, recs}
 	}
+	compare := func(policy string, seed int64, faulted bool, label string, got, want outcome) {
+		t.Helper()
+		if got.makespan != want.makespan || got.utilization != want.utilization ||
+			got.maxConcurrency != want.maxConcurrency || got.summary != want.summary {
+			t.Errorf("%s seed %d faulted=%v (%s): aggregates diverge:\ngot  %+v\nwant %+v",
+				policy, seed, faulted, label, got.summary, want.summary)
+		}
+		if !reflect.DeepEqual(got.records, want.records) {
+			for i := range got.records {
+				if i < len(want.records) && got.records[i] != want.records[i] {
+					t.Errorf("%s seed %d faulted=%v (%s): record %d differs:\ngot  %+v\nwant %+v",
+						policy, seed, faulted, label, i, got.records[i], want.records[i])
+					break
+				}
+			}
+			t.Fatalf("%s seed %d faulted=%v (%s): record stream diverges (%d vs %d records)",
+				policy, seed, faulted, label, len(got.records), len(want.records))
+		}
+	}
 	for _, policy := range []string{PolicyMC, PolicyMCC, PolicyMCCK} {
 		for seed := int64(1); seed <= 10; seed++ {
 			for _, faulted := range []bool{false, true} {
-				opt := cell(policy, seed, faulted, false)
-				ref := cell(policy, seed, faulted, true)
-				if opt.makespan != ref.makespan || opt.utilization != ref.utilization ||
-					opt.maxConcurrency != ref.maxConcurrency || opt.summary != ref.summary {
-					t.Errorf("%s seed %d faulted=%v: aggregates diverge:\noptimized %+v\nreference %+v",
-						policy, seed, faulted, opt.summary, ref.summary)
-				}
-				if !reflect.DeepEqual(opt.records, ref.records) {
-					for i := range opt.records {
-						if i < len(ref.records) && opt.records[i] != ref.records[i] {
-							t.Errorf("%s seed %d faulted=%v: record %d differs:\noptimized %+v\nreference %+v",
-								policy, seed, faulted, i, opt.records[i], ref.records[i])
-							break
-						}
-					}
-					t.Fatalf("%s seed %d faulted=%v: record stream diverges (%d vs %d records)",
-						policy, seed, faulted, len(opt.records), len(ref.records))
-				}
+				// opt runs with parallel lanes auto-enabled; ref forces every
+				// scheduler optimization onto its reference path (also
+				// parallel); ser is the optimized configuration with the
+				// parallel core forced off. All three must be bit-identical.
+				opt := cell(policy, seed, faulted, false, false)
+				ref := cell(policy, seed, faulted, true, false)
+				ser := cell(policy, seed, faulted, false, true)
+				compare(policy, seed, faulted, "reference path", opt, ref)
+				compare(policy, seed, faulted, "serial engine", opt, ser)
 			}
 		}
 	}

@@ -114,9 +114,10 @@ func TestInvariantSwarm(t *testing.T) {
 // TestChaosDiffSwarm is the reference-diff half of the `make chaos` gate:
 // a seed sweep where every cell replays with autoclusters, the match
 // cache, round memoization and the sparse knapsack solver force-disabled,
-// and the two runs' job-record streams must agree bit for bit. Each cell
-// costs two full runs (the reference solver is the expensive dense DP), so
-// the sweep is narrower than TestInvariantSwarm's.
+// and again with the parallel simulation core forced off, and every run's
+// job-record stream must agree bit for bit. Each cell costs three full
+// runs (the reference solver is the expensive dense DP), so the sweep is
+// narrower than TestInvariantSwarm's.
 func TestChaosDiffSwarm(t *testing.T) {
 	seeds := 10
 	if env := os.Getenv("CHAOS_DIFF_SEEDS"); env != "" {

@@ -83,6 +83,28 @@ type RunConfig struct {
 	// run's outcomes stay bit-identical to an unchecked run
 	// (TestChaosDisabledPreservesOutcomes).
 	Chaos *faults.Harness
+	// Parallel overrides the parallel simulation core's auto-selection.
+	// By default the run executes node lanes in parallel whenever no
+	// shared per-event sink is attached (Obs and Trace both nil — those
+	// observe individual lane events from worker goroutines, which the
+	// canonical merge cannot serialize). Outcomes are bit-identical either
+	// way (TestReferencePathOutcomeEquivalence); only wall-clock changes.
+	// Forcing Parallel=true with Obs or Trace set panics.
+	Parallel *bool
+	// Workers caps the parallel worker count; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// usesParallel resolves the parallel-execution choice.
+func (c RunConfig) usesParallel() bool {
+	auto := c.Obs == nil && c.Trace == nil
+	if c.Parallel == nil {
+		return auto
+	}
+	if *c.Parallel && !auto {
+		panic("experiments: Parallel=true is incompatible with Obs/Trace sinks (they observe lane events mid-epoch)")
+	}
+	return *c.Parallel
 }
 
 // usesCosmic resolves the node middleware choice.
@@ -137,6 +159,9 @@ func Run(cfg RunConfig) Result {
 	eng.MaxSteps = cfg.MaxSteps
 	if eng.MaxSteps == 0 {
 		eng.MaxSteps = 500_000_000
+	}
+	if cfg.usesParallel() {
+		eng.SetParallel(cfg.Workers, cfg.Condor.Lookahead())
 	}
 	clu := cluster.New(eng, cluster.Config{
 		Nodes:             cfg.Nodes,

@@ -208,7 +208,7 @@ type Device struct {
 	ID  string
 	cfg Config
 
-	eng  *sim.Engine
+	eng  *sim.Lane
 	rand *rng.Source
 	sink UtilSink
 
@@ -242,6 +242,12 @@ type Device struct {
 	// completion; these keep the partition of d.offloads allocation-free).
 	finishedScratch []*offload
 	stillScratch    []*offload
+	// offFree recycles offload records: a steady-state device allocates
+	// nothing per offload (records are node-confined, so the free list needs
+	// no locks — the parallel core runs each device on one lane). The struct
+	// is recycled the moment its end is decided; the deferred done
+	// notification captures the callback, never the record.
+	offFree []*offload
 
 	stats Stats
 
@@ -256,7 +262,7 @@ type Device struct {
 
 // NewDevice creates a device. rand drives OOM victim selection; a nil sink
 // disables utilization sampling.
-func NewDevice(eng *sim.Engine, id string, cfg Config, rand *rng.Source, sink UtilSink) *Device {
+func NewDevice(eng *sim.Lane, id string, cfg Config, rand *rng.Source, sink UtilSink) *Device {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
@@ -464,7 +470,8 @@ func (d *Device) StartOffload(p *Process, threads units.Threads, work units.Tick
 		p.warm = true
 		d.warmThreads += p.Job.Threads
 	}
-	o := &offload{proc: p, threads: threads, remaining: float64(work), done: done}
+	o := d.allocOffload()
+	o.proc, o.threads, o.remaining, o.done = p, threads, float64(work), done
 	p.off = o
 	d.offloads = append(d.offloads, o)
 	d.stats.OffloadsStarted++
@@ -508,8 +515,26 @@ func (d *Device) abortOffload(o *offload) {
 			obs.F("completed", false))
 	}
 	done := o.done
+	d.freeOffload(o)
 	d.eng.After(0, func() { done(OffloadAborted) })
 	d.replan()
+}
+
+func (d *Device) allocOffload() *offload {
+	if n := len(d.offFree); n > 0 {
+		o := d.offFree[n-1]
+		d.offFree[n-1] = nil
+		d.offFree = d.offFree[:n-1]
+		return o
+	}
+	return &offload{}
+}
+
+// freeOffload clears the record (dropping its Process and callback so they
+// can be collected) and returns it to the device's free list.
+func (d *Device) freeOffload(o *offload) {
+	o.proc, o.threads, o.remaining, o.done = nil, 0, 0, nil
+	d.offFree = append(d.offFree, o)
 }
 
 // speed returns the current processor-sharing rate in (0, 1]: the ratio of
@@ -646,6 +671,7 @@ func (d *Device) onCompletionTick() {
 				obs.F("completed", true))
 		}
 		done := o.done
+		d.freeOffload(o)
 		d.eng.After(0, func() { done(OffloadCompleted) })
 	}
 	d.replan()

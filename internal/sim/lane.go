@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+
+	"phishare/internal/units"
+)
+
+// Lane is a scheduling handle that declares the node scope of every event
+// scheduled through it. Node components (devices, links, COSMIC managers,
+// the starter-side runner) hold their node's lane; cross-node machinery
+// (the negotiator, fault injection, observability sampling) schedules on
+// the global lane via the Engine's own methods.
+//
+// In serial mode a Lane is a thin veneer over the engine's single heap and
+// behaves exactly like the classic engine. In parallel mode (see
+// parallel.go) each node lane owns a private heap, clock and free lists, and
+// epochs of node-confined events execute concurrently between global
+// events. The contract a component accepts by scheduling on a node lane:
+// the callback reads and writes only that node's state, and anything that
+// must escape the node — completing a job back into the Condor pool — goes
+// through Global.
+type Lane struct {
+	eng *Engine
+	id  int // -1 for the global lane
+
+	// Parallel-mode state; untouched in serial mode. Each lane's heap,
+	// clock, executing-event cursor and free lists are owned by whichever
+	// worker goroutine runs the lane during an epoch, and by the
+	// single-threaded coordinator otherwise, so none of it needs locks: the
+	// epoch start/join is the only synchronization.
+	heap    eventHeap
+	now     units.Tick
+	hseq    uint64
+	cur     *event   // event currently executing on this lane (epoch context)
+	log     []*event // events executed this epoch, in execution order
+	logPos  int
+	free    []*event
+	tmFree  []*Timer
+	running bool
+}
+
+// Engine returns the engine this lane schedules on.
+func (l *Lane) Engine() *Engine { return l.eng }
+
+// ID returns the lane's node id, or -1 for the global lane.
+func (l *Lane) ID() int { return l.id }
+
+// Now returns the current simulated time as seen by this lane: the lane's
+// own clock while it executes an epoch slice, the engine clock otherwise.
+// The two agree at every globally consistent point.
+func (l *Lane) Now() units.Tick {
+	if l.running {
+		return l.now
+	}
+	return l.eng.now
+}
+
+// At schedules fn at absolute time t on this lane. Scheduling in the past
+// panics.
+func (l *Lane) At(t units.Tick, fn func()) { l.schedule(t, fn, nil) }
+
+// After schedules fn d ticks from now on this lane. Negative d panics.
+func (l *Lane) After(d units.Tick, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	l.schedule(l.Now()+d, fn, nil)
+}
+
+// AtTimer schedules fn at absolute time t on this lane and returns a
+// cancelable handle (see Timer for the pooling contract).
+func (l *Lane) AtTimer(t units.Tick, fn func()) *Timer {
+	tm := l.allocTimer()
+	l.schedule(t, fn, tm)
+	return tm
+}
+
+// AfterTimer schedules fn after delay d on this lane and returns a
+// cancelable handle.
+func (l *Lane) AfterTimer(d units.Tick, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return l.AtTimer(l.Now()+d, fn)
+}
+
+// Global runs fn in the cross-node (barrier) context. From serial code and
+// from barrier context it runs fn immediately — the classic synchronous
+// behavior. From inside a parallel epoch it defers fn into the executing
+// event's action log; the canonical walk replays it at this event's exact
+// serial position, with the engine clock at the event's time, so everything
+// fn touches (pool accounting, record streams, negotiation requests)
+// observes the same state and order a serial run would produce.
+//
+// A deferred fn must not schedule node-lane events, and any global events it
+// schedules must lie at least the engine's lookahead past the deferral
+// point; both are enforced at replay time.
+func (l *Lane) Global(fn func()) {
+	e := l.eng
+	if e.parallel && e.ctx == ctxEpoch && l.id >= 0 {
+		cur := l.cur
+		if cur == nil {
+			panic("sim: Global called in an epoch outside the lane's executor")
+		}
+		cur.acts = append(cur.acts, action{global: fn})
+		return
+	}
+	fn()
+}
+
+func (l *Lane) schedule(t units.Tick, fn func(), tm *Timer) {
+	e := l.eng
+	if !e.parallel {
+		e.scheduleSerial(t, fn, tm)
+		return
+	}
+	if l.id < 0 {
+		// Global lane, parallel mode.
+		switch e.ctx {
+		case ctxEpoch:
+			panic("sim: global event scheduled from a node lane during an epoch; defer it with Lane.Global")
+		case ctxWalk:
+			if t < e.walkBound {
+				panic(fmt.Sprintf(
+					"sim: lookahead violation: deferred closure scheduled a global event at %v inside the executed window (bound %v)",
+					t, e.walkBound))
+			}
+		}
+		e.scheduleSerial(t, fn, tm)
+		return
+	}
+	switch e.ctx {
+	case ctxEpoch:
+		cur := l.cur
+		if cur == nil || !l.running {
+			panic("sim: lane event scheduled in an epoch outside the lane's executor")
+		}
+		if t < l.now {
+			panic(fmt.Sprintf("sim: event scheduled at %v, before lane now %v", t, l.now))
+		}
+		ev := l.alloc()
+		ev.at, ev.seq, ev.fn, ev.tm, ev.lane = t, 0, fn, tm, l
+		l.hseq++
+		ev.hseq = l.hseq
+		l.heap.push(ev)
+		cur.acts = append(cur.acts, action{child: ev})
+	case ctxWalk:
+		panic("sim: deferred global closure scheduled a node-lane event; lane work must be scheduled from the node or from barrier events")
+	default: // ctxSerial: barrier context, single-threaded
+		if t < e.now {
+			panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+		}
+		e.seq++
+		ev := l.alloc()
+		ev.at, ev.seq, ev.fn, ev.tm, ev.lane = t, e.seq, fn, tm, l
+		l.hseq++
+		ev.hseq = l.hseq
+		l.heap.push(ev)
+	}
+}
+
+func (l *Lane) alloc() *event {
+	if n := len(l.free); n > 0 {
+		ev := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (l *Lane) allocTimer() *Timer {
+	e := l.eng
+	if e.parallel && e.ctx == ctxEpoch && l.id >= 0 {
+		if n := len(l.tmFree); n > 0 {
+			tm := l.tmFree[n-1]
+			l.tmFree[n-1] = nil
+			l.tmFree = l.tmFree[:n-1]
+			tm.stopped = false
+			return tm
+		}
+		return &Timer{}
+	}
+	return e.allocTimer()
+}

@@ -9,11 +9,16 @@
 // were scheduled, which makes simulations bit-for-bit reproducible across
 // runs and platforms.
 //
-// The engine is single-goroutine by design: real HPC cluster middleware is
-// concurrent, but a scheduler study needs a causally ordered, replayable
-// timeline far more than it needs parallel execution. (The experiment
-// harness parallelizes at a coarser grain, running independent simulations
-// on separate engines.)
+// Scheduling goes through Lane handles. A Lane declares the node scope of
+// everything scheduled on it: node lanes (NodeLane) carry events that touch
+// only that node's state — device completion ticks, link DMA progress, host
+// phase steps, COSMIC queue pumps — while the global lane (the Engine's own
+// At/After methods) carries cross-node events: negotiation cycles, dispatch
+// handshakes, fault injection. In the default serial mode the distinction is
+// free — one heap, one clock, exactly the classic engine — but it is what
+// lets the parallel executor (see parallel.go) run node lanes concurrently
+// between global events while keeping every observable outcome, including
+// same-instant tie-breaks, bit-identical to a serial run.
 package sim
 
 import (
@@ -22,17 +27,41 @@ import (
 	"phishare/internal/units"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback.
 type event struct {
-	at  units.Tick
+	at units.Tick
+	// seq is the canonical sequence number: the value the serial engine
+	// would have assigned at the same scheduling point. In parallel mode an
+	// event born inside an epoch has seq 0 until the canonical walk reaches
+	// its parent and assigns the exact serial value (valid seqs start at 1).
 	seq uint64
-	fn  func()
+	// hseq is the heap-ordering key: equal to seq for serial and global
+	// scheduling, a per-lane push counter for lane scheduling in parallel
+	// mode. Within one heap, (at, hseq) order always agrees with the
+	// canonical (at, seq) order — see the invariant note in parallel.go.
+	hseq uint64
+	lane *Lane // owning lane; nil for global events
+	fn   func()
+	// tm, when non-nil, makes this a cancelable timer event: fn is skipped
+	// if the timer was stopped, and the Timer struct returns to the free
+	// list after the instant passes.
+	tm *Timer
+	// acts is the action log recorded while the event executes inside a
+	// parallel epoch: the events it scheduled and the global closures it
+	// deferred, in emission order, replayed by the canonical walk.
+	acts []action
+}
+
+// action is one entry of an epoch event's action log.
+type action struct {
+	child  *event // a lane event this event scheduled (seq assigned at walk)
+	global func() // a deferred cross-node closure (run at walk, in canonical order)
 }
 
 // eventHeap is a binary min-heap of events ordered by time, then by
 // insertion order. The heap code is inlined (rather than going through
 // container/heap's interface) so pushes and pops stay monomorphic and
-// allocation-free; the (at, seq) key is a total order, so the pop sequence
+// allocation-free; the (at, hseq) key is a total order, so the pop sequence
 // is identical to container/heap's regardless of internal layout.
 type eventHeap []*event
 
@@ -40,7 +69,7 @@ func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return h[i].hseq < h[j].hseq
 }
 
 func (h *eventHeap) push(ev *event) {
@@ -84,6 +113,15 @@ func (h *eventHeap) pop() *event {
 	return ev
 }
 
+// Execution context of the engine. Serial mode never leaves ctxSerial; the
+// parallel executor flips to ctxEpoch while worker goroutines drain lane
+// heaps and to ctxWalk during the canonical merge that follows each epoch.
+const (
+	ctxSerial = iota // serial engine, or a parallel engine between epochs (barrier context)
+	ctxEpoch         // lane workers executing an epoch window
+	ctxWalk          // canonical walk replaying deferred actions
+)
+
 // Engine is a discrete-event simulation engine.
 // The zero value is ready to use, with the clock at 0.
 type Engine struct {
@@ -93,9 +131,10 @@ type Engine struct {
 	// by the next At, so a steady-state simulation stops allocating per
 	// event entirely (the engine processes hundreds of thousands of events
 	// per run; see BenchmarkSimEngine).
-	free  []*event
-	seq   uint64
-	steps uint64
+	free   []*event
+	tmFree []*Timer
+	seq    uint64
+	steps  uint64
 	// MaxSteps, if non-zero, bounds the number of events processed by Run;
 	// exceeding it panics. It is a guard against accidental event loops
 	// (e.g. a scheduler that reschedules itself at the current instant).
@@ -107,11 +146,36 @@ type Engine struct {
 	// it consumes no sequence numbers and cannot reorder anything, but a
 	// hook that mutates component state would still corrupt the run. A nil
 	// hook costs one comparison per step.
+	//
+	// In parallel mode the hook runs at every globally consistent point —
+	// after each barrier event and after each epoch's canonical walk —
+	// rather than after every lane event; state invariants that hold at
+	// every serial event boundary hold at every such point.
 	AfterStep func()
+
+	// Parallel-execution state; zero/unused in serial mode.
+	parallel  bool
+	workers   int
+	lookahead units.Tick
+	epochs    uint64
+	ctx       int
+	lanes     []*Lane
+	global    Lane
+	// walkBound is the current epoch window's end while ctx == ctxWalk:
+	// a replayed closure scheduling a global event before it would mean the
+	// epoch ran past a cross-node effect (a lookahead violation).
+	walkBound    units.Tick
+	laneScratch  []*Lane
+	mergeScratch []*Lane
 }
 
 // New returns a fresh engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{}
+	e.global.eng = e
+	e.global.id = -1
+	return e
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Tick { return e.now }
@@ -120,28 +184,52 @@ func (e *Engine) Now() units.Tick { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
-
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// a component asking for time travel is always a bug in the caller.
-func (e *Engine) At(t units.Tick, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+func (e *Engine) Pending() int {
+	n := len(e.events)
+	for _, l := range e.lanes {
+		n += len(l.heap)
 	}
-	e.seq++
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, e.seq, fn
-	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
-	}
-	e.events.push(ev)
+	return n
 }
 
-// After schedules fn to run d ticks from now. Negative d panics.
+// GlobalLane returns the engine's cross-node lane. Scheduling on it is
+// identical to calling the Engine's own At/After methods.
+func (e *Engine) GlobalLane() *Lane {
+	if e.global.eng == nil {
+		// Zero-value Engine (no New): wire the embedded lane lazily.
+		e.global.eng, e.global.id = e, -1
+	}
+	return &e.global
+}
+
+// NodeLane returns the scheduling lane for node id (dense ids from 0),
+// creating it and any lower-numbered lanes on first use. Everything a node's
+// components schedule through their lane is declared node-confined: it may
+// read and write only that node's state. The parallel executor runs lanes
+// concurrently between global events on that promise.
+func (e *Engine) NodeLane(id int) *Lane {
+	if id < 0 {
+		panic(fmt.Sprintf("sim: negative lane id %d", id))
+	}
+	for len(e.lanes) <= id {
+		e.lanes = append(e.lanes, &Lane{eng: e, id: len(e.lanes)})
+	}
+	return e.lanes[id]
+}
+
+// At schedules fn to run at absolute time t on the global lane. Scheduling
+// in the past panics: a component asking for time travel is always a bug in
+// the caller.
+func (e *Engine) At(t units.Tick, fn func()) {
+	if !e.parallel {
+		e.scheduleSerial(t, fn, nil)
+		return
+	}
+	e.GlobalLane().At(t, fn)
+}
+
+// After schedules fn to run d ticks from now on the global lane. Negative d
+// panics.
 func (e *Engine) After(d units.Tick, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -149,9 +237,34 @@ func (e *Engine) After(d units.Tick, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// Run processes events until the queue is empty and returns the final clock
-// value. Events may schedule further events.
+// scheduleSerial is the single-heap scheduling path: the whole story in
+// serial mode, and the global-lane path at barrier context in parallel mode.
+func (e *Engine) scheduleSerial(t units.Tick, fn func(), tm *Timer) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.at, ev.seq, ev.hseq, ev.fn, ev.tm, ev.lane = t, e.seq, e.seq, fn, tm, nil
+	e.events.push(ev)
+}
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// Run processes events until every queue is empty and returns the final
+// clock value. Events may schedule further events.
 func (e *Engine) Run() units.Tick {
+	if e.parallel {
+		return e.runParallel()
+	}
 	for len(e.events) > 0 {
 		e.step()
 	}
@@ -160,8 +273,12 @@ func (e *Engine) Run() units.Tick {
 
 // RunUntil processes events with time <= t, then advances the clock to t
 // (if it is not already past it) and returns. Events scheduled at exactly t
-// are processed.
+// are processed. RunUntil is a serial-engine facility (component tests step
+// their fixtures mid-flight with it); a parallel engine panics.
 func (e *Engine) RunUntil(t units.Tick) {
+	if e.parallel {
+		panic("sim: RunUntil is not supported on a parallel engine")
+	}
 	for len(e.events) > 0 && e.events[0].at <= t {
 		e.step()
 	}
@@ -180,12 +297,20 @@ func (e *Engine) step() {
 	if e.MaxSteps != 0 && e.steps > e.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (runaway event loop?)", e.MaxSteps, e.now))
 	}
-	fn := ev.fn
+	fn, tm := ev.fn, ev.tm
 	// Recycle before running the callback would be wrong: fn may panic and
 	// leave a half-cleared event reachable. Release after it returns; the
 	// callback's own scheduling draws from the free list populated by
 	// earlier steps.
-	fn()
+	if tm != nil {
+		if !tm.stopped {
+			fn()
+		}
+		ev.tm = nil
+		e.tmFree = append(e.tmFree, tm)
+	} else {
+		fn()
+	}
 	ev.fn = nil // drop the closure so its captures can be collected
 	e.free = append(e.free, ev)
 	if e.AfterStep != nil {
@@ -194,22 +319,30 @@ func (e *Engine) step() {
 }
 
 // Timer is a cancelable scheduled event. It is used by components that may
-// need to retract a pending action, e.g. COSMIC retracting the completion of
-// an offload whose job was killed by the memory container.
+// need to retract a pending action, e.g. the PCIe link retracting a DMA
+// completion tick when the in-flight transfer set changes.
+//
+// Timers are pooled: once a timer's instant passes (fired or stopped, it
+// makes no difference), the struct returns to the engine's free list and the
+// next AtTimer may hand it out again. A caller must therefore drop its
+// handle once the timer has fired — calling Stop on a handle whose instant
+// has passed may cancel an unrelated, recycled timer. Every current caller
+// clears its handle in the callback (or stops the timer and nils the handle
+// in the same breath), which is the pattern to keep.
 type Timer struct {
 	stopped bool
 }
 
-// AtTimer schedules fn at absolute time t and returns a handle that can stop
-// it. A stopped timer's callback is silently skipped when its time arrives.
+// AtTimer schedules fn at absolute time t on the global lane and returns a
+// handle that can stop it. A stopped timer's callback is silently skipped
+// when its time arrives.
 func (e *Engine) AtTimer(t units.Tick, fn func()) *Timer {
-	tm := &Timer{}
-	e.At(t, func() {
-		if !tm.stopped {
-			fn()
-		}
-	})
-	return tm
+	if !e.parallel {
+		tm := e.allocTimer()
+		e.scheduleSerial(t, fn, tm)
+		return tm
+	}
+	return e.GlobalLane().AtTimer(t, fn)
 }
 
 // AfterTimer schedules fn after delay d and returns a cancelable handle.
@@ -217,8 +350,20 @@ func (e *Engine) AfterTimer(d units.Tick, fn func()) *Timer {
 	return e.AtTimer(e.now+d, fn)
 }
 
-// Stop cancels the timer. Stopping an already-fired or already-stopped timer
-// is a no-op.
+func (e *Engine) allocTimer() *Timer {
+	if n := len(e.tmFree); n > 0 {
+		tm := e.tmFree[n-1]
+		e.tmFree[n-1] = nil
+		e.tmFree = e.tmFree[:n-1]
+		tm.stopped = false
+		return tm
+	}
+	return &Timer{}
+}
+
+// Stop cancels the timer. Stopping an already-stopped timer is a no-op;
+// stopping a timer whose instant has already passed is a caller bug (the
+// struct may have been recycled — see the Timer doc).
 func (t *Timer) Stop() { t.stopped = true }
 
 // Stopped reports whether Stop has been called.
