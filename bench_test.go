@@ -319,6 +319,37 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkObsOverheadParallel is BenchmarkObsOverhead on the 4-worker
+// parallel core: the lane-shard trace buffering and canonical flush must
+// keep instrumented parallel runs within the same overhead envelope as
+// serial ones (the benchjson -gate obs pair-check enforces ≤15%
+// instrumented-over-disabled on both). Before the sharded pipeline,
+// attaching any sink forced the run serial — this benchmark is the ledger
+// evidence that parallel mode now stays on under instrumentation.
+func BenchmarkObsOverheadParallel(b *testing.B) {
+	jobs := job.GenerateTableOneSet(200, rng.New(11).Fork("tableI"))
+	parallel := true
+	run := func(b *testing.B, instrumented bool) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.RunConfig{
+				Policy: experiments.PolicyMCCK, Nodes: 8, Jobs: jobs, Seed: 11,
+				Parallel: &parallel, Workers: 4,
+			}
+			if instrumented {
+				cfg.Obs = obs.New()
+			}
+			res := experiments.Run(cfg)
+			if !res.Parallel {
+				b.Fatal("parallel mode did not engage")
+			}
+			b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkDynamicArrivals regenerates E9: response time under Poisson
 // arrivals across the load sweep.
 func BenchmarkDynamicArrivals(b *testing.B) {

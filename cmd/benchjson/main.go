@@ -23,6 +23,15 @@
 // are collapsed to their per-metric minimum first, which damps host noise:
 // the minimum of several runs estimates the true cost, while a mean would
 // absorb scheduler hiccups and flake the gate.
+//
+// Gate mode also fences observability overhead within the fresh sweep
+// itself: wherever it sees an X/disabled and X/instrumented sub-benchmark
+// pair, the instrumented leg's ns/op must stay within -obs-tolerance
+// (default 15%) of its disabled twin. That is a same-host, same-run
+// comparison, so it needs no ledger history and cannot drift with hardware.
+// Under -count > 1 the check pairs same-index readings (which ran back to
+// back) and takes the smallest ratio, so a load spike hitting one leg of
+// one count does not read as instrumentation overhead.
 package main
 
 import (
@@ -44,6 +53,11 @@ type run struct {
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
 	// metrics: ns/op, B/op, allocs/op, and any b.ReportMetric customs.
 	Benchmarks map[string]benchResult `json:"benchmarks"`
+	// samples keeps each benchmark's per-count ns/op readings in input
+	// order (minResult collapses Benchmarks to minima); the obs pair-gate
+	// compares temporally adjacent readings, which damps host-load drift
+	// that would skew a ratio of two independent minima.
+	samples map[string][]float64
 }
 
 type benchResult struct {
@@ -60,6 +74,7 @@ func main() {
 		gate      = flag.String("gate", "", "ledger file to gate against instead of writing; exit 1 on regression")
 		gateLabel = flag.String("gate-label", "after", "ledger label the gate compares against")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression in gate mode")
+		obsTol    = flag.Float64("obs-tolerance", 0.15, "allowed fractional ns/op overhead of an X/instrumented sub-benchmark over its X/disabled twin in gate mode")
 	)
 	flag.Parse()
 
@@ -73,6 +88,12 @@ func main() {
 			name, res, err := parseBenchLine(line)
 			if err != nil {
 				log.Fatalf("parse %q: %v", line, err)
+			}
+			if ns, ok := res.Metrics["ns/op"]; ok {
+				if r.samples == nil {
+					r.samples = map[string][]float64{}
+				}
+				r.samples[name] = append(r.samples[name], ns)
 			}
 			if prev, ok := r.Benchmarks[name]; ok {
 				res = minResult(prev, res) // -count > 1: keep per-metric minima
@@ -92,7 +113,11 @@ func main() {
 	}
 
 	if *gate != "" {
-		os.Exit(runGate(*gate, *gateLabel, *tolerance, r))
+		code := runGate(*gate, *gateLabel, *tolerance, r)
+		if runObsGate(*obsTol, r) != 0 {
+			code = 1
+		}
+		os.Exit(code)
 	}
 
 	// Merge into any existing ledger so one file accumulates labels.
@@ -175,6 +200,15 @@ func runGate(ledgerPath, label string, tolerance float64, fresh run) int {
 		}
 		got := fresh.Benchmarks[name]
 		for _, metric := range gatedMetrics {
+			if metric == "ns/op" && isObsPairLeg(name, fresh) {
+				// The leg's wall time is fenced same-sweep by the obs
+				// pair-gate; against the ledger only its allocs/op is
+				// meaningful (exact and host-independent). Comparing a
+				// noisy instrumented leg to a single recorded ns/op
+				// minimum flakes without measuring anything the
+				// pair-gate and the macro benchmark don't.
+				continue
+			}
 			w, okW := want.Metrics[metric]
 			g, okG := got.Metrics[metric]
 			if !okW || !okG {
@@ -199,6 +233,86 @@ func runGate(ledgerPath, label string, tolerance float64, fresh run) int {
 		return 1
 	}
 	log.Printf("gate clean: %d metric(s) within %.0f%% of %s[%s]", compared, tolerance*100, ledgerPath, label)
+	return 0
+}
+
+// isObsPairLeg reports whether name is one half of an obs overhead pair
+// (X/disabled with an X/instrumented twin, or vice versa) present in the
+// fresh sweep — the legs whose wall time the pair-gate owns.
+func isObsPairLeg(name string, fresh run) bool {
+	if base, ok := strings.CutSuffix(name, "/disabled"); ok {
+		_, ok := fresh.Benchmarks[base+"/instrumented"]
+		return ok
+	}
+	if base, ok := strings.CutSuffix(name, "/instrumented"); ok {
+		_, ok := fresh.Benchmarks[base+"/disabled"]
+		return ok
+	}
+	return false
+}
+
+// runObsGate fences instrumentation overhead inside one sweep: for every
+// benchmark pair X/disabled and X/instrumented, the instrumented ns/op must
+// not exceed disabled × (1 + tolerance). Pairs compare within the same run
+// on the same host, so the check holds regardless of where CI executes.
+//
+// With -count > 1 the gate pairs the i-th disabled reading with the i-th
+// instrumented reading and takes the smallest ratio: the two legs of one
+// count execute back to back, so pairing by index cancels host-load drift
+// that a ratio of two independently chosen minima (possibly many seconds
+// apart) would absorb as phantom overhead. Sweeps without such pairs pass
+// vacuously.
+func runObsGate(tolerance float64, fresh run) int {
+	names := make([]string, 0, len(fresh.Benchmarks))
+	for name := range fresh.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed, compared := 0, 0
+	for _, name := range names {
+		base, ok := strings.CutSuffix(name, "/disabled")
+		if !ok {
+			continue
+		}
+		if _, ok := fresh.Benchmarks[base+"/instrumented"]; !ok {
+			continue
+		}
+		dis, ins := fresh.samples[name], fresh.samples[base+"/instrumented"]
+		n := len(dis)
+		if len(ins) < n {
+			n = len(ins)
+		}
+		if n == 0 {
+			continue
+		}
+		best, bestD, bestG := -1.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if dis[i] <= 0 {
+				continue
+			}
+			if r := ins[i] / dis[i]; best < 0 || r < best {
+				best, bestD, bestG = r, dis[i], ins[i]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		compared++
+		status := "ok"
+		if best > 1+tolerance {
+			status = "OVERHEAD"
+			failed++
+		}
+		log.Printf("%s instrumented ns/op: %.6g vs disabled %.6g (best of %d paired runs, +%.1f%%, limit +%.0f%%) %s",
+			base, bestG, bestD, n, 100*(best-1), tolerance*100, status)
+	}
+	if failed > 0 {
+		log.Printf("obs gate FAILED: %d pair(s) exceed %.0f%% instrumentation overhead", failed, tolerance*100)
+		return 1
+	}
+	if compared > 0 {
+		log.Printf("obs gate clean: %d pair(s) within %.0f%% of their disabled twins", compared, tolerance*100)
+	}
 	return 0
 }
 

@@ -19,6 +19,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -117,8 +119,61 @@ func main() {
 		out     = flag.String("o", "", "also write the report to this file")
 		jsonOut = flag.String("json", "", "write machine-readable results to this file")
 		obsDir  = flag.String("obs", "", "run each policy instrumented at the Table II config and write per-policy metric/event/series/dashboard dumps into this directory")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after GC) at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file (full sampling; shows parallel-core barrier contention)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("create %s: %v", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote cpu profile to %s", *cpuProfile)
+		}()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				log.Fatalf("create %s: %v", *mutexProfile, err)
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				log.Fatalf("write mutex profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote mutex profile to %s", *mutexProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("create %s: %v", *memProfile, err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("write heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote heap profile to %s", *memProfile)
+		}()
+	}
 
 	o := experiments.Options{Seed: *seed, Nodes: *nodes, RealJobs: *real, SyntheticJobs: *syn}
 

@@ -14,7 +14,11 @@
 //
 // The observability flags (-events, -metrics, -series, -dashboard,
 // -eventlog) attach the internal/obs layer to the run and export its
-// artifacts; instrumentation never changes simulated outcomes.
+// artifacts; instrumentation never changes simulated outcomes. -perfetto
+// exports causal job spans as a Chrome trace-event file for ui.perfetto.dev,
+// -critpath writes the critical-path makespan attribution, and
+// -stream-events traces arbitrarily large runs in bounded memory by
+// streaming JSONL during the run instead of retaining events.
 package main
 
 import (
@@ -56,6 +60,10 @@ func main() {
 		dashOut    = flag.String("dashboard", "", "write a self-contained HTML dashboard to this file")
 		sampleSec  = flag.Float64("sample", 5, "time-series sampling period in simulated seconds")
 		eventlog   = flag.String("eventlog", "", "write the condor job event log (CSV) to this file")
+
+		perfetto  = flag.String("perfetto", "", "write job spans as a Chrome/Perfetto trace-event JSON file")
+		critpath  = flag.String("critpath", "", "write the critical-path makespan attribution (text report) to this file")
+		streamOut = flag.String("stream-events", "", "stream trace events (JSONL) to this file during the run without retaining them (bounded memory; disables -events)")
 	)
 	flag.Parse()
 
@@ -95,10 +103,29 @@ func main() {
 		runCfg.Trace = rec
 	}
 	var o *obs.Observer
-	if *eventsOut != "" || *metricsOut != "" || *seriesOut != "" || *dashOut != "" {
+	if *eventsOut != "" || *metricsOut != "" || *seriesOut != "" || *dashOut != "" ||
+		*perfetto != "" || *critpath != "" || *streamOut != "" {
 		o = obs.New()
 		o.SampleInterval = units.Tick(*sampleSec * float64(units.Second))
 		runCfg.Obs = o
+	}
+	// Spans assemble from the live canonical stream, so -perfetto/-critpath
+	// work even when -stream-events drops the trace after emission.
+	var spanB *obs.SpanBuilder
+	if o != nil && (*perfetto != "" || *critpath != "") {
+		spanB = obs.NewSpanBuilder()
+		o.Trace.AddConsumer(spanB)
+	}
+	var streamFile *os.File
+	var stream *obs.StreamSink
+	if o != nil && *streamOut != "" {
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			log.Fatalf("create %s: %v", *streamOut, err)
+		}
+		streamFile = f
+		stream = o.StreamEvents(f)
+		*eventsOut = "" // nothing retained to dump post-hoc
 	}
 	var elog *condor.EventLog
 	if *eventlog != "" {
@@ -106,6 +133,17 @@ func main() {
 		runCfg.EventLog = elog
 	}
 	res := experiments.Run(runCfg)
+
+	if stream != nil {
+		if err := stream.Err(); err != nil {
+			log.Fatalf("stream events: %v", err)
+		}
+		if err := streamFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("streamed %d trace events to %s (buffer high-water %d bytes)",
+			stream.Events(), *streamOut, stream.HighWater())
+	}
 
 	writeArtifact := func(path, what string, write func(io.Writer) error) {
 		if path == "" {
@@ -131,6 +169,20 @@ func main() {
 			title := fmt.Sprintf("phisched %s: %d jobs (%s) on %d nodes, seed %d",
 				res.Policy, res.JobCount, *wl, *nodes, *seed)
 			return o.WriteDashboard(w, title)
+		})
+	}
+	if spanB != nil {
+		spans := spanB.Spans()
+		writeArtifact(*perfetto, "Perfetto trace (JSON)", func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, spans)
+		})
+		writeArtifact(*critpath, "critical-path attribution", func(w io.Writer) error {
+			cp := obs.AnalyzeCriticalPath(spans)
+			if cp == nil {
+				_, err := io.WriteString(w, "no completed spans; nothing to attribute\n")
+				return err
+			}
+			return cp.WriteText(w)
 		})
 	}
 	if elog != nil {

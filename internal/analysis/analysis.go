@@ -110,6 +110,7 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		SortStable,
 		SimGoroutine,
+		ObsAlloc,
 	}
 }
 

@@ -1,0 +1,31 @@
+package fixture
+
+import "fmt"
+
+// flaggedUnguarded builds the field slice on every call, including runs
+// where c.obs is nil: the allocation the disabled path must not pay.
+func flaggedUnguarded(c *component, now int64, job int) {
+	c.obs.Emit(now, "phi", "oom_kill", f("job", job))
+}
+
+// flaggedWrongGuard nil-checks a different receiver than the one emitting.
+func flaggedWrongGuard(c *component, now int64, job int) {
+	if c.obs != nil {
+		c.host.obs.Emit(now, "cosmic", "admitted", f("job", job))
+	}
+}
+
+// flaggedDisjunction: an || condition does not prove the receiver non-nil
+// on every path into the body.
+func flaggedDisjunction(c *component, now int64, job int, force bool) {
+	if c.obs != nil || force {
+		c.obs.Emit(now, "condor", "match", f("job", job))
+	}
+}
+
+// flaggedSprintf allocates a formatted string in an unguarded emission —
+// flagged alongside the slice finding, and alone even at fixed arity.
+func flaggedSprintf(c *component, now int64, job int) {
+	c.obs.Emit(now, "condor", "match", f("name", fmt.Sprintf("job-%d", job)))
+	c.obs.Emit(now, "condor", fmt.Sprint("match"))
+}

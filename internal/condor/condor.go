@@ -415,7 +415,7 @@ type Pool struct {
 
 	// Observability (SetObserver). Instrument handles are resolved once at
 	// wiring time; every hot-path site pays a nil check when disabled.
-	obs           *obs.Observer
+	obs           *obs.View
 	obsCacheHit   *obs.Counter
 	obsCacheMiss  *obs.Counter
 	obsCacheInv   *obs.Counter
@@ -629,7 +629,7 @@ func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *
 // instrument handles. Call before Submit; a nil observer leaves the pool
 // uninstrumented (all handles nil, all emissions skipped).
 func (p *Pool) SetObserver(o *obs.Observer) {
-	p.obs = o
+	p.obs = o.View(nil)
 	p.obsCacheHit = o.Counter("condor_match_cache_hits_total")
 	p.obsCacheMiss = o.Counter("condor_match_cache_misses_total")
 	p.obsCacheInv = o.Counter("condor_match_cache_invalidations_total")
@@ -696,6 +696,10 @@ func (p *Pool) SubmitAs(user string, jobs []*job.Job, priority int) {
 		p.jobs = append(p.jobs, q)
 		p.insertPending(q)
 		p.record(EventSubmit, q, "")
+		if p.obs != nil {
+			p.obs.Emit(p.eng.Now(), obs.LayerCondor, "submit",
+				obs.F("job", q.Job.ID))
+		}
 	}
 	p.requestNegotiation(p.cfg.NotifyDelay)
 }
@@ -1021,6 +1025,10 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 		}
 		q.runStart = p.eng.Now()
 		p.record(EventExecute, q, m.Name)
+		if p.obs != nil {
+			p.obs.Emit(p.eng.Now(), obs.LayerCondor, "execute",
+				obs.F("job", q.Job.ID), obs.F("machine", m.Name))
+		}
 		runner.Run(m.Unit, q.Job, func(r runner.Result) {
 			// The completion fires on the machine's node lane; jobDone
 			// mutates pool-wide state (claims, usage, records, negotiation
@@ -1052,12 +1060,21 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 	if r.Outcome == runner.Crashed {
 		q.Crashes++
 		p.record(EventCrash, q, m.Name)
+		if p.obs != nil {
+			p.obs.Emit(p.eng.Now(), obs.LayerCondor, "crash",
+				obs.F("job", q.Job.ID), obs.F("machine", m.Name),
+				obs.F("crashes", q.Crashes))
+		}
 		if q.Crashes <= p.cfg.MaxRetries {
 			q.State = Idle
 			p.policy.PrepareJobAd(q) // reset Requirements for a fresh match
 			p.insertPending(q)
 			p.stats.Resubmits++
 			p.record(EventResubmit, q, "")
+			if p.obs != nil {
+				p.obs.Emit(p.eng.Now(), obs.LayerCondor, "resubmit",
+					obs.F("job", q.Job.ID))
+			}
 			p.requestNegotiation(p.cfg.NotifyDelay)
 			return
 		}
@@ -1065,6 +1082,10 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 	} else {
 		q.State = Completed
 		p.record(EventTerminate, q, m.Name)
+		if p.obs != nil {
+			p.obs.Emit(p.eng.Now(), obs.LayerCondor, "terminate",
+				obs.F("job", q.Job.ID), obs.F("machine", m.Name))
+		}
 	}
 	q.EndTime = p.eng.Now()
 	p.noteEnd(q.EndTime)

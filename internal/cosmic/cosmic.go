@@ -108,8 +108,11 @@ type Manager struct {
 	// order); see the package comment.
 	Bypass bool
 
-	// Observability (SetObserver); nil handles no-op when disabled.
-	obs           *obs.Observer
+	// Observability (SetObserver); nil handles no-op when disabled. The
+	// View buffers epoch-context emissions in the node lane's shard so
+	// instrumented runs stay parallel (see obs.View).
+	obs           *obs.View
+	obsDev        any // device ID pre-boxed once so hot emit sites skip the per-event string-header allocation
 	obsQDepth     *obs.Gauge
 	obsAdmitDepth *obs.Gauge
 	obsDispatched *obs.Counter
@@ -133,8 +136,9 @@ func (m *Manager) Device() *phi.Device { return m.dev }
 // SetObserver attaches the observability layer; series are labelled with
 // the managed device's ID. A nil observer disables instrumentation.
 func (m *Manager) SetObserver(o *obs.Observer) {
-	m.obs = o
+	m.obs = o.View(m.eng)
 	dev := m.dev.ID
+	m.obsDev = dev
 	m.obsQDepth = o.Gauge("cosmic_offload_queue_depth", "device", dev)
 	m.obsAdmitDepth = o.Gauge("cosmic_admit_queue_depth", "device", dev)
 	m.obsDispatched = o.Counter("cosmic_offloads_dispatched_total", "device", dev)
@@ -187,7 +191,7 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 		m.obsKills.Inc()
 		if m.obs != nil {
 			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "container_kill",
-				obs.F("device", m.dev.ID), obs.F("job", j.ID),
+				obs.F("device", m.obsDev), obs.F("job", j.ID),
 				obs.F("declared_mb", j.Mem), obs.F("device_mb", m.dev.Config().Memory))
 		}
 		ready(m.dev.FailAttach(j, phi.KillContainer))
@@ -202,7 +206,7 @@ func (m *Manager) Admit(j *job.Job, ready func(*phi.Process)) {
 	m.admitQ = append(m.admitQ, &admitReq{j: j, ready: ready, arrived: m.eng.Now()})
 	if m.obs != nil {
 		m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "admit_blocked",
-			obs.F("device", m.dev.ID), obs.F("job", j.ID),
+			obs.F("device", m.obsDev), obs.F("job", j.ID),
 			obs.F("declared_mb", j.Mem), obs.F("declared_free_mb", m.DeclaredFree()),
 			obs.F("admit_queue", len(m.admitQ)))
 	}
@@ -264,7 +268,7 @@ func (m *Manager) pumpAdmits() {
 		m.obsAdmitWait.Observe(wait.Seconds())
 		if m.obs != nil {
 			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "admitted",
-				obs.F("device", m.dev.ID), obs.F("job", head.j.ID),
+				obs.F("device", m.obsDev), obs.F("job", head.j.ID),
 				obs.F("wait_ms", wait))
 		}
 		m.noteDepth()
@@ -334,7 +338,7 @@ func (m *Manager) Offload(p *phi.Process, threads units.Threads, work units.Tick
 		m.obsWaited.Inc()
 		if m.obs != nil {
 			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "offload_waited",
-				obs.F("device", m.dev.ID), obs.F("job", p.Job.ID),
+				obs.F("device", m.obsDev), obs.F("job", p.Job.ID),
 				obs.F("threads", threads), obs.F("queue", len(m.queue)))
 		}
 	}
@@ -382,7 +386,7 @@ func (m *Manager) enforceContainer(p *phi.Process, wouldCommit units.MB) bool {
 		m.obsKills.Inc()
 		if m.obs != nil {
 			m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "container_kill",
-				obs.F("device", m.dev.ID), obs.F("job", p.Job.ID),
+				obs.F("device", m.obsDev), obs.F("job", p.Job.ID),
 				obs.F("declared_mb", p.Job.Mem), obs.F("would_commit_mb", wouldCommit))
 		}
 		m.dev.Kill(p, phi.KillContainer)
@@ -431,7 +435,7 @@ func (m *Manager) dispatch(req *request) {
 	m.obsHolWait.Observe(wait.Seconds())
 	if m.obs != nil && req.waited {
 		m.obs.Emit(m.eng.Now(), obs.LayerCosmic, "offload_dispatched",
-			obs.F("device", m.dev.ID), obs.F("job", req.proc.Job.ID),
+			obs.F("device", m.obsDev), obs.F("job", req.proc.Job.ID),
 			obs.F("threads", req.threads), obs.F("wait_ms", wait))
 	}
 	done := req.done

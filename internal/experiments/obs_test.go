@@ -22,73 +22,204 @@ import (
 // the time-series sampler ticking on the shared engine) must produce
 // bit-identical job records, makespans, and footprints vs a bare run.
 // Instrumentation that changes a simulated outcome is never acceptable.
+// Runs in both serial and 4-worker parallel modes: the lane-affine Views
+// must be outcome-neutral in epoch context too.
 func TestObservabilityPreservesOutcomes(t *testing.T) {
-	for _, seed := range []int64{3, 11} {
-		jobs := job.GenerateTableOneSet(90, rng.New(seed))
-		run := func(instrumented bool) (Result, []metrics.JobRecord, *obs.Observer) {
-			var recs []metrics.JobRecord
-			cfg := RunConfig{
-				Policy:     PolicyMCCK,
-				Nodes:      3,
-				Jobs:       jobs,
-				Seed:       seed,
-				RecordSink: &recs,
-			}
-			var o *obs.Observer
-			if instrumented {
-				o = obs.New()
-				cfg.Obs = o
-				cfg.EventLog = condor.NewEventLog()
-			}
-			res := Run(cfg)
-			return res, recs, o
-		}
-		bare, bareRecs, _ := run(false)
-		inst, instRecs, o := run(true)
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"serial", false}, {"parallel4", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			parallel := mode.parallel
+			for _, seed := range []int64{3, 11} {
+				jobs := job.GenerateTableOneSet(90, rng.New(seed))
+				run := func(instrumented bool) (Result, []metrics.JobRecord, *obs.Observer) {
+					var recs []metrics.JobRecord
+					cfg := RunConfig{
+						Policy:     PolicyMCCK,
+						Nodes:      3,
+						Jobs:       jobs,
+						Seed:       seed,
+						RecordSink: &recs,
+						Parallel:   &parallel,
+						Workers:    4,
+					}
+					var o *obs.Observer
+					if instrumented {
+						o = obs.New()
+						cfg.Obs = o
+						cfg.EventLog = condor.NewEventLog()
+					}
+					res := Run(cfg)
+					return res, recs, o
+				}
+				bare, bareRecs, _ := run(false)
+				inst, instRecs, o := run(true)
 
-		if bare.Makespan != inst.Makespan {
-			t.Fatalf("seed %d: instrumentation changed makespan: %v -> %v",
-				seed, bare.Makespan, inst.Makespan)
-		}
-		if !reflect.DeepEqual(bareRecs, instRecs) {
-			for i := range bareRecs {
-				if i < len(instRecs) && bareRecs[i] != instRecs[i] {
-					t.Errorf("seed %d: record %d differs:\nbare:         %+v\ninstrumented: %+v",
-						seed, i, bareRecs[i], instRecs[i])
-					break
+				if inst.Parallel != mode.parallel {
+					t.Fatalf("seed %d: instrumented run parallel = %v, want %v",
+						seed, inst.Parallel, mode.parallel)
+				}
+				if bare.Makespan != inst.Makespan {
+					t.Fatalf("seed %d: instrumentation changed makespan: %v -> %v",
+						seed, bare.Makespan, inst.Makespan)
+				}
+				if !reflect.DeepEqual(bareRecs, instRecs) {
+					for i := range bareRecs {
+						if i < len(instRecs) && bareRecs[i] != instRecs[i] {
+							t.Errorf("seed %d: record %d differs:\nbare:         %+v\ninstrumented: %+v",
+								seed, i, bareRecs[i], instRecs[i])
+							break
+						}
+					}
+					t.Fatalf("seed %d: instrumented record stream (%d) != bare (%d)",
+						seed, len(instRecs), len(bareRecs))
+				}
+				if !reflect.DeepEqual(bare.Summary, inst.Summary) {
+					t.Fatalf("seed %d: summaries differ:\nbare:         %+v\ninstrumented: %+v",
+						seed, bare.Summary, inst.Summary)
+				}
+
+				// Footprint runs a sweep of full simulations; instrument every
+				// one of them (sharing one observer across the sweep is fine —
+				// outcomes must not care).
+				target := bare.Makespan * 2
+				fpCfg := RunConfig{
+					Policy: PolicyMCCK, Nodes: 1, Jobs: jobs, Seed: seed,
+					Parallel: &parallel, Workers: 4,
+				}
+				bareFP, bareOK := Footprint(fpCfg, target, 3)
+				instFPCfg := fpCfg
+				instFPCfg.Obs = obs.New()
+				instFP, instOK := Footprint(instFPCfg, target, 3)
+				if bareFP != instFP || bareOK != instOK {
+					t.Fatalf("seed %d: instrumentation changed footprint: (%d,%v) -> (%d,%v)",
+						seed, bareFP, bareOK, instFP, instOK)
+				}
+
+				// Sanity: the instrumented run actually observed all four layers.
+				for _, layer := range []string{obs.LayerCondor, obs.LayerCore, obs.LayerCosmic, obs.LayerPhi} {
+					if o.Trace.Count(layer, "") == 0 {
+						t.Errorf("seed %d: no trace events from layer %q", seed, layer)
+					}
+				}
+				if o.Sampler().Samples() == 0 {
+					t.Errorf("seed %d: sampler recorded nothing", seed)
 				}
 			}
-			t.Fatalf("seed %d: instrumented record stream (%d) != bare (%d)",
-				seed, len(instRecs), len(bareRecs))
-		}
-		if !reflect.DeepEqual(bare.Summary, inst.Summary) {
-			t.Fatalf("seed %d: summaries differ:\nbare:         %+v\ninstrumented: %+v",
-				seed, bare.Summary, inst.Summary)
-		}
+		})
+	}
+}
 
-		// Footprint runs a sweep of full simulations; instrument every one of
-		// them (sharing one observer across the sweep is fine — outcomes must
-		// not care).
-		target := bare.Makespan * 2
-		fpCfg := RunConfig{Policy: PolicyMCCK, Nodes: 1, Jobs: jobs, Seed: seed}
-		bareFP, bareOK := Footprint(fpCfg, target, 3)
-		instFPCfg := fpCfg
-		instFPCfg.Obs = obs.New()
-		instFP, instOK := Footprint(instFPCfg, target, 3)
-		if bareFP != instFP || bareOK != instOK {
-			t.Fatalf("seed %d: instrumentation changed footprint: (%d,%v) -> (%d,%v)",
-				seed, bareFP, bareOK, instFP, instOK)
-		}
+// TestParallelStaysEnabledWithSinks is the regression fence for the PR that
+// removed the parallel auto-off: attaching observability sinks (Obs, Trace,
+// EventLog) must neither panic nor silently fall back to serial execution.
+func TestParallelStaysEnabledWithSinks(t *testing.T) {
+	jobs := job.GenerateTableOneSet(90, rng.New(3))
+	o := obs.New()
+	res := Run(RunConfig{
+		Policy:   PolicyMCCK,
+		Nodes:    4,
+		Jobs:     jobs,
+		Seed:     3,
+		Obs:      o,
+		EventLog: condor.NewEventLog(),
+		Workers:  4,
+		// Parallel left nil: the default must be parallel even with sinks.
+	})
+	if !res.Parallel {
+		t.Fatal("run with Obs attached fell back to serial execution")
+	}
+	if res.Epochs == 0 {
+		t.Fatal("parallel run with Obs attached executed zero epoch windows")
+	}
+	if o.Trace.Len() == 0 {
+		t.Fatal("parallel instrumented run recorded no trace events")
+	}
 
-		// Sanity: the instrumented run actually observed all four layers.
-		for _, layer := range []string{obs.LayerCondor, obs.LayerCore, obs.LayerCosmic, obs.LayerPhi} {
-			if o.Trace.Count(layer, "") == 0 {
-				t.Errorf("seed %d: no trace events from layer %q", seed, layer)
+	// Forcing Parallel=true with sinks used to panic; it must simply run.
+	force := true
+	res = Run(RunConfig{
+		Policy:   PolicyMCCK,
+		Nodes:    4,
+		Jobs:     jobs,
+		Seed:     3,
+		Obs:      obs.New(),
+		Parallel: &force,
+		Workers:  4,
+	})
+	if !res.Parallel || res.Epochs == 0 {
+		t.Fatalf("forced parallel instrumented run: parallel=%v epochs=%d",
+			res.Parallel, res.Epochs)
+	}
+}
+
+// TestObsParallelOutputBitIdentical diffs the complete observability output
+// of an instrumented serial run against an instrumented 4-worker parallel
+// run: Prometheus metrics snapshot, JSONL trace stream, and sampled time
+// series must match byte for byte. This is the tentpole contract of the
+// lane-sharded collection path — the canonical walk drains per-lane buffers
+// in (time, seq) order, so parallel emission order is indistinguishable
+// from serial.
+func TestObsParallelOutputBitIdentical(t *testing.T) {
+	artifacts := func(parallel bool) (metricsText, eventsText, seriesText string, res Result) {
+		jobs := job.GenerateTableOneSet(120, rng.New(7))
+		o := obs.New()
+		res = Run(RunConfig{
+			Policy:   PolicyMCCK,
+			Nodes:    4,
+			Jobs:     jobs,
+			Seed:     7,
+			Obs:      o,
+			Parallel: &parallel,
+			Workers:  4,
+		})
+		var m, e, s bytes.Buffer
+		if err := o.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.WriteEvents(&e); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.WriteSeriesCSV(&s); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), e.String(), s.String(), res
+	}
+
+	sm, se, ss, sres := artifacts(false)
+	pm, pe, ps, pres := artifacts(true)
+
+	if !pres.Parallel || pres.Epochs == 0 {
+		t.Fatalf("parallel run did not execute epochs: parallel=%v epochs=%d",
+			pres.Parallel, pres.Epochs)
+	}
+	if sres.Makespan != pres.Makespan {
+		t.Fatalf("makespan differs: serial %v, parallel %v", sres.Makespan, pres.Makespan)
+	}
+	if se == "" || !strings.Contains(se, `"layer":"phi"`) {
+		t.Fatal("serial trace stream is empty or missing phi events")
+	}
+	if sm != pm {
+		t.Errorf("metrics snapshots differ (serial %d bytes, parallel %d bytes)", len(sm), len(pm))
+	}
+	if se != pe {
+		line := 0
+		sl, pl := strings.Split(se, "\n"), strings.Split(pe, "\n")
+		for line < len(sl) && line < len(pl) && sl[line] == pl[line] {
+			line++
+		}
+		get := func(v []string) string {
+			if line < len(v) {
+				return v[line]
 			}
+			return "<eof>"
 		}
-		if o.Sampler().Samples() == 0 {
-			t.Errorf("seed %d: sampler recorded nothing", seed)
-		}
+		t.Errorf("trace streams diverge at line %d:\nserial:   %s\nparallel: %s",
+			line, get(sl), get(pl))
+	}
+	if ss != ps {
+		t.Errorf("series CSVs differ (serial %d bytes, parallel %d bytes)", len(ss), len(ps))
 	}
 }
 
@@ -234,5 +365,102 @@ func TestInstrumentedRunArtifacts(t *testing.T) {
 	}
 	if elog.Count(condor.EventTerminate) == 0 {
 		t.Error("event log has no terminations")
+	}
+}
+
+// TestSpanPipelineEndToEnd runs an instrumented cluster and checks the full
+// analysis pipeline that cmd/phisched exports: a live SpanBuilder consuming
+// the canonical stream assembles one span per job and agrees with the
+// retained trace, the critical path ends exactly at the measured makespan,
+// and the Perfetto export is valid Chrome trace-event JSON.
+func TestSpanPipelineEndToEnd(t *testing.T) {
+	o := obs.New()
+	live := obs.NewSpanBuilder()
+	o.Trace.AddConsumer(live)
+	res := Run(RunConfig{
+		Policy: PolicyMCCK,
+		Nodes:  3,
+		Jobs:   job.GenerateTableOneSet(80, rng.New(13)),
+		Seed:   13,
+		Obs:    o,
+	})
+
+	spans := live.Spans()
+	if len(spans) != 80 {
+		t.Fatalf("got %d spans, want one per job", len(spans))
+	}
+	post := obs.SpansFromTrace(o.Trace)
+	if len(post) != len(spans) {
+		t.Fatalf("live (%d) and post-hoc (%d) span counts differ", len(spans), len(post))
+	}
+	completed := 0
+	for i, s := range spans {
+		p := post[i]
+		if s.Job != p.Job || s.End != p.End || s.Outcome != p.Outcome {
+			t.Fatalf("span %d: live %+v vs post-hoc %+v", i, *s, *p)
+		}
+		if s.Outcome == "completed" {
+			completed++
+			last := s.Attempts[len(s.Attempts)-1]
+			if last.Open || last.End != s.End || last.Machine == "" {
+				t.Fatalf("completed span %d has broken final attempt: %+v", s.Job, *last)
+			}
+			if len(last.Offloads) == 0 {
+				t.Fatalf("completed span %d has no offloads", s.Job)
+			}
+		}
+	}
+	if completed != int(res.Summary.Completed) {
+		t.Fatalf("completed spans %d, run reports %d", completed, res.Summary.Completed)
+	}
+
+	// Critical path must terminate at the run's makespan and attribute a
+	// meaningful share of it.
+	cp := obs.AnalyzeCriticalPath(spans)
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	if cp.Makespan != res.Makespan {
+		t.Fatalf("critical path makespan %v, run makespan %v", cp.Makespan, res.Makespan)
+	}
+	if cp.Covered <= 0 || cp.Covered > cp.Makespan {
+		t.Fatalf("covered %v outside (0, %v]", cp.Covered, cp.Makespan)
+	}
+	var kindSum units.Tick
+	for _, sh := range cp.ByKind {
+		kindSum += sh.Total
+	}
+	if kindSum != cp.Covered {
+		t.Fatalf("phase shares sum to %v, covered %v", kindSum, cp.Covered)
+	}
+	var report bytes.Buffer
+	if err := cp.WriteText(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "where did the makespan go?") {
+		t.Fatal("report missing attribution header")
+	}
+
+	// Perfetto export parses as JSON and carries events for every node.
+	var pf bytes.Buffer
+	if err := obs.WriteChromeTrace(&pf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(pf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto export not valid JSON: %v", err)
+	}
+	evs, _ := doc["traceEvents"].([]any)
+	if len(evs) < 80 {
+		t.Fatalf("perfetto export has %d events for an 80-job run", len(evs))
+	}
+
+	// The dashboard grew the makespan panel.
+	var dash bytes.Buffer
+	if err := o.WriteDashboard(&dash, "span test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dash.String(), "Where did the makespan go?") {
+		t.Fatal("dashboard missing makespan attribution panel")
 	}
 }

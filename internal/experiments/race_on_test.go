@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the full-scale streaming trace test: the 1,000-node /
+// 100k-job cell is tier-1 coverage under plain `go test` but would dominate
+// the -race suite's wall clock, and the small-cell bit-identity tests
+// already exercise every code path under the race detector.
+const raceEnabled = true

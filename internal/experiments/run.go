@@ -83,13 +83,12 @@ type RunConfig struct {
 	// run's outcomes stay bit-identical to an unchecked run
 	// (TestChaosDisabledPreservesOutcomes).
 	Chaos *faults.Harness
-	// Parallel overrides the parallel simulation core's auto-selection.
-	// By default the run executes node lanes in parallel whenever no
-	// shared per-event sink is attached (Obs and Trace both nil — those
-	// observe individual lane events from worker goroutines, which the
-	// canonical merge cannot serialize). Outcomes are bit-identical either
-	// way (TestReferencePathOutcomeEquivalence); only wall-clock changes.
-	// Forcing Parallel=true with Obs or Trace set panics.
+	// Parallel overrides the parallel simulation core's on-by-default
+	// choice; nil means parallel. Observability sinks no longer force a
+	// serial run: lane-affine Views buffer epoch emissions per lane and the
+	// canonical walk drains them in (time, seq) order, so instrumented
+	// parallel output is bit-identical to serial
+	// (TestObsParallelOutputBitIdentical); only wall-clock changes.
 	Parallel *bool
 	// Workers caps the parallel worker count; 0 means GOMAXPROCS.
 	Workers int
@@ -97,12 +96,8 @@ type RunConfig struct {
 
 // usesParallel resolves the parallel-execution choice.
 func (c RunConfig) usesParallel() bool {
-	auto := c.Obs == nil && c.Trace == nil
 	if c.Parallel == nil {
-		return auto
-	}
-	if *c.Parallel && !auto {
-		panic("experiments: Parallel=true is incompatible with Obs/Trace sinks (they observe lane events mid-epoch)")
+		return true
 	}
 	return *c.Parallel
 }
@@ -145,6 +140,11 @@ type Result struct {
 	MaxConcurrency int
 	Summary        metrics.Summary
 	PoolStats      condor.Stats
+	// Parallel reports whether the run executed on the parallel core;
+	// Epochs is its window count (0 for serial). Regression tests use the
+	// pair to assert that attaching sinks no longer disables parallelism.
+	Parallel bool
+	Epochs   uint64
 }
 
 // Run executes one simulation and returns its measurements.
@@ -207,6 +207,8 @@ func Run(cfg RunConfig) Result {
 		MaxConcurrency: summary.MaxConcurrency,
 		Summary:        summary,
 		PoolStats:      pool.Stats(),
+		Parallel:       eng.Parallel(),
+		Epochs:         eng.Epochs(),
 	}
 }
 

@@ -59,6 +59,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 	sb.WriteString("</p>\n")
 
 	o.writeSparklines(&sb)
+	o.writeMakespanPanel(&sb)
 	o.writeSchedulerCachePanel(&sb)
 	o.writeCounterTable(&sb)
 	o.writeGaugeTable(&sb)
@@ -139,6 +140,44 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeMakespanPanel renders the "Where did the makespan go?" scorecard:
+// the critical-path phase attribution assembled from the retained trace's
+// job spans. Omitted when the trace holds no condor lifecycle events (a run
+// without a pool, or a streamed trace that retained nothing) — dashboards
+// for such runs simply lack the panel.
+func (o *Observer) writeMakespanPanel(sb *strings.Builder) {
+	cp := AnalyzeCriticalPath(SpansFromTrace(o.Trace))
+	if cp == nil || len(cp.Segments) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Where did the makespan go?</h2>\n")
+	fmt.Fprintf(sb, "<p>Critical path ending at job %d: %.1f simulated seconds, %.1f%% attributed across %d segments.</p>\n",
+		cp.TailJob, cp.Makespan.Seconds(), 100*frac(cp.Covered, cp.Makespan), len(cp.Segments))
+	sb.WriteString("<table><tr><th>phase</th><th>time</th><th>share</th><th></th></tr>\n")
+	for _, s := range cp.ByKind {
+		barW := int(s.Frac * 240)
+		fmt.Fprintf(sb, "<tr><td>%s</td><td class=\"num\">%.1f s</td><td class=\"num\">%.1f%%</td>"+
+			"<td><svg width=\"240\" height=\"12\"><rect width=\"%d\" height=\"12\" fill=\"%s\"/></svg></td></tr>\n",
+			html.EscapeString(s.Key), s.Total.Seconds(), 100*s.Frac, barW, sparkPalette[0])
+	}
+	sb.WriteString("</table>\n")
+	if len(cp.ByWhere) > 0 {
+		sb.WriteString("<table><tr><th>machine / device on the path</th><th>time</th><th>share</th></tr>\n")
+		for i, s := range cp.ByWhere {
+			if i >= 8 {
+				break
+			}
+			name := s.Key
+			if name == "" {
+				name = "(unattributed)"
+			}
+			fmt.Fprintf(sb, "<tr><td><code>%s</code></td><td class=\"num\">%.1f s</td><td class=\"num\">%.1f%%</td></tr>\n",
+				html.EscapeString(name), s.Total.Seconds(), 100*s.Frac)
+		}
+		sb.WriteString("</table>\n")
+	}
 }
 
 // writeSchedulerCachePanel renders the matchmaking/allocation fast-path

@@ -60,17 +60,31 @@ func TestNilSafety(t *testing.T) {
 	if tr.Len() != 0 || tr.Count("l", "k") != 0 {
 		t.Fatal("nil trace recorded")
 	}
+	var v *View
+	v.Emit(0, "l", "k", F("a", 1))
+	if v.Observer() != nil {
+		t.Fatal("nil view must report a nil observer")
+	}
+	if o.View(nil) != nil {
+		t.Fatal("nil observer must hand out a nil view")
+	}
 }
 
 func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
 	var c *Counter
 	var g *Gauge
 	var h *Histogram
+	var v *View
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(3)
 		g.Set(1.5)
 		h.Observe(2)
+		// A disabled component holds a nil View; the emit site's guard
+		// (`if x.obs != nil`) is what keeps the fields from being built,
+		// but even an unguarded nil-View Emit with pre-boxed values must
+		// not allocate.
+		v.Emit(0, LayerPhi, "noop")
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instruments allocated %.1f per op", allocs)

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"phishare/internal/sim"
+	"phishare/internal/units"
+)
+
+// View is a lane-affine handle on an Observer's trace. Components resolve a
+// View once in SetObserver — node-confined components (devices, COSMIC
+// managers) pass their node's lane, cross-node machinery (the negotiator,
+// the knapsack scheduler, fault injection) passes nil — and emit through it
+// from then on. A nil *View drops everything, so the disabled cost at every
+// site stays a nil check, exactly like the nil *Observer contract.
+//
+// The View is what lets instrumented runs stay parallel. An emission from
+// inside a parallel epoch window may not touch the shared Trace: it would
+// race with other lanes and land out of canonical order. The View instead
+// appends the event to its lane's private shard buffer (no locks: one
+// writer, the lane's own executor) and records a flush point in the
+// executing event's action log via sim.Lane.DeferFlush. The post-window
+// canonical walk, which already merges per-lane logs in (time, seq) order,
+// drains one buffered event per flush point at the emitting event's exact
+// serial position — interleaved with Lane.Global deferrals in emission
+// order — so the canonical Trace receives the byte-identical event sequence
+// a serial run would have produced. Emissions from serial, barrier, fused
+// single-lane-window and walk contexts are already canonically ordered and
+// single-threaded, and go straight to the Trace.
+//
+// Metric instruments need no such machinery: every lane-context instrument
+// in the stack carries per-device labels, so each series has exactly one
+// writing lane (single-writer contract), integer counters commute, and a
+// series' observations arrive in lane order, which within a lane equals
+// canonical order. Final registry contents are therefore bit-identical to a
+// serial run with instruments written in place.
+type View struct {
+	o     *Observer
+	lane  *sim.Lane
+	shard *laneShard
+}
+
+// laneShard is one lane's private, pooled event buffer. Appends happen on
+// the lane's epoch executor; drains happen one event per flush point on the
+// coordinator during the canonical walk, which empties the buffer every
+// window (every appended event records a flush point in an executed event's
+// action log, and the walk replays all of them).
+//
+// The event buffer retains its capacity across windows, and field data is
+// staged in lane-private blocks that the buffered events keep referencing
+// after the drain hands them to the Trace (Trace.EmitOwned) — the block is
+// abandoned to the trace rather than copied, so a field is written to the
+// heap exactly once on its way from the emitting site to canonical storage.
+// Emit sites build their variadic field slices on the stack (Emit copies
+// them into the current block rather than keeping the argument slice).
+// Blocks start small and double up to fieldChunk, so a mostly-idle lane in
+// a huge cell wastes at most a few cache lines of unfilled tail.
+type laneShard struct {
+	buf    []Event
+	pos    int
+	high   int     // high-water mark of buffered events, across the run
+	blk    []Field // current field block; events own their sub-slices
+	blkCap int     // next block capacity (doubles, capped at fieldChunk)
+}
+
+// shardBlockMin is the first field-block capacity of a lane shard.
+const shardBlockMin = 64
+
+// stage copies fields into the shard's current block and returns the
+// block-backed slice, capacity-clipped so later appends can never overlap.
+func (sh *laneShard) stage(fields []Field) []Field {
+	if len(fields) == 0 {
+		return nil
+	}
+	if cap(sh.blk)-len(sh.blk) < len(fields) {
+		c := sh.blkCap * 2
+		if c < shardBlockMin {
+			c = shardBlockMin
+		}
+		if c > fieldChunk {
+			c = fieldChunk
+		}
+		if c < len(fields) {
+			c = len(fields)
+		}
+		sh.blkCap = c
+		sh.blk = make([]Field, 0, c)
+	}
+	blk := append(sh.blk, fields...)
+	sh.blk = blk
+	start := len(blk) - len(fields)
+	return blk[start:len(blk):len(blk)]
+}
+
+// View resolves a lane-affine emission handle. A nil Observer returns a nil
+// View; a nil lane (or the global lane) returns a direct-emitting View for
+// cross-node components. Node-lane Views share one shard per lane and
+// register the Observer's drain hook on the lane's engine (one Observer per
+// engine, the same contract BindSampler has).
+func (o *Observer) View(lane *sim.Lane) *View {
+	if o == nil {
+		return nil
+	}
+	v := &View{o: o, lane: lane}
+	if lane != nil && lane.ID() >= 0 {
+		id := lane.ID()
+		for len(o.laneShards) <= id {
+			o.laneShards = append(o.laneShards, nil)
+		}
+		sh := o.laneShards[id]
+		if sh == nil {
+			sh = &laneShard{}
+			o.laneShards[id] = sh
+		}
+		v.shard = sh
+		lane.Engine().SetLaneFlush(o.flushLane)
+	}
+	return v
+}
+
+// Emit records one trace event at the View's canonical position. Safe on a
+// nil View, but hot paths must guard the call with `if x.obs != nil` so
+// field construction is skipped when disabled.
+func (v *View) Emit(at units.Tick, layer, kind string, fields ...Field) {
+	if v == nil {
+		return
+	}
+	if v.shard != nil && v.lane.EpochLocal() {
+		sh := v.shard
+		// Stage the fields in the shard's block so the caller's variadic
+		// slice stays on its stack.
+		sh.buf = append(sh.buf, Event{At: at, Layer: layer, Kind: kind, Fields: sh.stage(fields)})
+		if n := len(sh.buf) - sh.pos; n > sh.high {
+			sh.high = n
+		}
+		v.lane.DeferFlush()
+		return
+	}
+	v.o.Trace.Emit(at, layer, kind, fields...)
+}
+
+// Observer returns the backing Observer (nil for a nil View). Components use
+// it to resolve instrument handles next to their View.
+func (v *View) Observer() *Observer {
+	if v == nil {
+		return nil
+	}
+	return v.o
+}
+
+// flushLane is the engine drain hook: hand the lane's oldest buffered event
+// to the canonical Trace. Called by the walk once per recorded flush point,
+// on the single-threaded coordinator, in canonical order.
+func (o *Observer) flushLane(l *sim.Lane) {
+	sh := o.laneShards[l.ID()]
+	ev := sh.buf[sh.pos]
+	sh.buf[sh.pos] = Event{} // drop the block reference
+	sh.pos++
+	if sh.pos == len(sh.buf) {
+		sh.buf = sh.buf[:0]
+		sh.pos = 0
+	}
+	// The event's fields live in a shard block the trace now takes over;
+	// no copy (EmitOwned), the block is simply never rewound.
+	o.Trace.EmitOwned(ev)
+}
+
+// ShardHighWater reports the largest number of events any lane shard held at
+// once across the run — the bound on per-lane buffered observability memory.
+// Shards drain completely at every epoch walk, so this is proportional to
+// the busiest single window, not to the run length.
+func (o *Observer) ShardHighWater() int {
+	if o == nil {
+		return 0
+	}
+	max := 0
+	for _, sh := range o.laneShards {
+		if sh != nil && sh.high > max {
+			max = sh.high
+		}
+	}
+	return max
+}

@@ -251,8 +251,12 @@ type Device struct {
 
 	stats Stats
 
-	// Observability (SetObserver); nil handles no-op when disabled.
-	obs         *obs.Observer
+	// Observability (SetObserver); nil handles no-op when disabled. The
+	// View is lane-affine: epoch-context emissions buffer in the node
+	// lane's shard and surface at the canonical walk, so instrumented runs
+	// stay parallel with bit-identical trace output.
+	obs         *obs.View
+	obsDev      any // device ID pre-boxed once so hot emit sites skip the per-event string-header allocation
 	obsOOM      *obs.Counter
 	obsStarted  *obs.Counter
 	obsComplete *obs.Counter
@@ -286,7 +290,8 @@ func (d *Device) Config() Config { return d.cfg }
 // SetObserver attaches the observability layer; series are labelled with
 // the device ID. A nil observer disables instrumentation.
 func (d *Device) SetObserver(o *obs.Observer) {
-	d.obs = o
+	d.obs = o.View(d.eng)
+	d.obsDev = d.ID
 	d.obsOOM = o.Counter("phi_oom_kills_total", "device", d.ID)
 	d.obsStarted = o.Counter("phi_offloads_started_total", "device", d.ID)
 	d.obsComplete = o.Counter("phi_offloads_completed_total", "device", d.ID)
@@ -477,11 +482,14 @@ func (d *Device) StartOffload(p *Process, threads units.Threads, work units.Tick
 	d.stats.OffloadsStarted++
 	d.obsStarted.Inc()
 	if d.Trace != nil {
-		d.Trace.OffloadStarted(d.eng.Now(), p.Job.Name, threads)
+		// The sink is shared across devices: defer the call through the
+		// lane so it lands in canonical order (immediate in serial mode).
+		now, name := d.eng.Now(), p.Job.Name
+		d.eng.Global(func() { d.Trace.OffloadStarted(now, name, threads) })
 	}
 	if d.obs != nil {
 		d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_start",
-			obs.F("device", d.ID), obs.F("job", p.Job.ID),
+			obs.F("device", d.obsDev), obs.F("job", p.Job.ID),
 			obs.F("threads", threads), obs.F("work_ms", work))
 	}
 
@@ -507,11 +515,12 @@ func (d *Device) abortOffload(o *offload) {
 	d.stats.OffloadsAborted++
 	d.obsAborted.Inc()
 	if d.Trace != nil {
-		d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, false)
+		now, name := d.eng.Now(), o.proc.Job.Name
+		d.eng.Global(func() { d.Trace.OffloadEnded(now, name, false) })
 	}
 	if d.obs != nil {
 		d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_end",
-			obs.F("device", d.ID), obs.F("job", o.proc.Job.ID),
+			obs.F("device", d.obsDev), obs.F("job", o.proc.Job.ID),
 			obs.F("completed", false))
 	}
 	done := o.done
@@ -663,11 +672,12 @@ func (d *Device) onCompletionTick() {
 		d.stats.OffloadsCompleted++
 		d.obsComplete.Inc()
 		if d.Trace != nil {
-			d.Trace.OffloadEnded(d.eng.Now(), o.proc.Job.Name, true)
+			now, name := d.eng.Now(), o.proc.Job.Name
+			d.eng.Global(func() { d.Trace.OffloadEnded(now, name, true) })
 		}
 		if d.obs != nil {
 			d.obs.Emit(d.eng.Now(), obs.LayerPhi, "offload_end",
-				obs.F("device", d.ID), obs.F("job", o.proc.Job.ID),
+				obs.F("device", d.obsDev), obs.F("job", o.proc.Job.ID),
 				obs.F("completed", true))
 		}
 		done := o.done
@@ -693,7 +703,7 @@ func (d *Device) checkOOM() {
 		d.obsOOM.Inc()
 		if d.obs != nil {
 			d.obs.Emit(d.eng.Now(), obs.LayerPhi, "oom_kill",
-				obs.F("device", d.ID), obs.F("job", victim.Job.ID),
+				obs.F("device", d.obsDev), obs.F("job", victim.Job.ID),
 				obs.F("committed_mb", d.CommittedMemory()),
 				obs.F("device_mb", d.cfg.Memory))
 		}

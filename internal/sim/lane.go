@@ -109,6 +109,37 @@ func (l *Lane) Global(fn func()) {
 	fn()
 }
 
+// EpochLocal reports whether the caller is executing on this lane inside a
+// parallel epoch window — the one context where shared state is off-limits
+// and effects that must reach a shared consumer have to be buffered
+// lane-locally and drained at the canonical walk (see DeferFlush). It is
+// false in serial mode, in barrier context, during fused single-lane windows
+// and during the walk, all of which already run in canonical order on one
+// thread. Only code running on the lane's own executor may call it.
+func (l *Lane) EpochLocal() bool {
+	e := l.eng
+	return e.parallel && e.ctx == ctxEpoch && l.running
+}
+
+// DeferFlush records a lane-buffer drain point in the executing event's
+// action log. The canonical walk calls the engine's registered lane-flush
+// hook (Engine.SetLaneFlush) once per recorded point, at this event's exact
+// serial position and interleaved with Global deferrals in emission order.
+// A collector that appends one record to a lane-local buffer per DeferFlush
+// call therefore sees its records surface at the hook in exactly the order a
+// serial run would have produced them. Must only be called when EpochLocal
+// is true.
+func (l *Lane) DeferFlush() {
+	cur := l.cur
+	if cur == nil {
+		panic("sim: DeferFlush called outside the lane's epoch executor")
+	}
+	if l.eng.laneFlush == nil {
+		panic("sim: DeferFlush with no flush hook registered (Engine.SetLaneFlush)")
+	}
+	cur.acts = append(cur.acts, action{flush: true})
+}
+
 func (l *Lane) schedule(t units.Tick, fn func(), tm *Timer) {
 	e := l.eng
 	if !e.parallel {

@@ -350,13 +350,20 @@ func (e *Engine) walk(active []*Lane, w units.Tick) {
 		l.logPos++
 		for i := range ev.acts {
 			a := &ev.acts[i]
-			if a.child != nil {
+			switch {
+			case a.child != nil:
 				// The serial engine would have drawn the next sequence
 				// number right here.
 				e.seq++
 				a.child.seq = e.seq
 				a.child = nil
-			} else {
+			case a.flush:
+				// A lane-local collector buffered one record during the
+				// epoch; hand it to the canonical consumer at this event's
+				// serial position (DeferFlush guarantees the hook is set).
+				a.flush = false
+				e.laneFlush(l)
+			default:
 				fn := a.global
 				a.global = nil
 				fn()

@@ -56,6 +56,12 @@ type event struct {
 type action struct {
 	child  *event // a lane event this event scheduled (seq assigned at walk)
 	global func() // a deferred cross-node closure (run at walk, in canonical order)
+	// flush marks a lane-buffer drain point recorded with Lane.DeferFlush:
+	// the canonical walk calls the engine's registered lane-flush hook here,
+	// letting a lane-local collector (the observability shards) hand one
+	// buffered record to its canonical consumer at this event's exact serial
+	// position, interleaved with deferred closures in emission order.
+	flush bool
 }
 
 // eventHeap is a binary min-heap of events ordered by time, then by
@@ -167,7 +173,18 @@ type Engine struct {
 	walkBound    units.Tick
 	laneScratch  []*Lane
 	mergeScratch []*Lane
+	// laneFlush is the registered lane-buffer drain hook (see SetLaneFlush).
+	laneFlush func(*Lane)
 }
+
+// SetLaneFlush registers the hook the canonical walk calls for every flush
+// point recorded with Lane.DeferFlush, in canonical (time, seq) order and in
+// emission order within an event. A lane-local collector (the observability
+// layer's per-lane shards) registers the hook once and uses it to drain its
+// buffers into a canonically ordered consumer. One hook per engine; the sim
+// package itself never records flush points, so an engine without a
+// registered hook never calls it.
+func (e *Engine) SetLaneFlush(fn func(*Lane)) { e.laneFlush = fn }
 
 // New returns a fresh engine with the clock at zero.
 func New() *Engine {
