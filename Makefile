@@ -7,14 +7,16 @@ GO ?= go
 # label its numbers land under. A perf PR records its baseline first:
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
-BENCH_OUT   ?= BENCH_7.json
+BENCH_OUT   ?= BENCH_8.json
 BENCH_LABEL ?= after
 
 # The regression suite: the hot-path micro-benchmarks plus the two macro
-# benchmarks that exercise the whole stack, and the observability
+# benchmarks that exercise the whole stack, the observability
 # overhead pairs (disabled must track BenchmarkEndToEndMCCK; instrumented
-# documents the cost of full instrumentation, serial and 4-worker parallel).
-BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan|BenchmarkObsOverhead|BenchmarkObsOverheadParallel)$$
+# documents the cost of full instrumentation, serial and 4-worker parallel),
+# and the negotiation sweep (queue depths, autoclusters on/off, and the
+# 10k-machine/100k-job sharded cycle over shard counts).
+BENCH_RE = ^(BenchmarkKnapsack2D|BenchmarkClassAdMatch|BenchmarkSimEngine|BenchmarkEndToEndMCCK|BenchmarkTable2Makespan|BenchmarkObsOverhead|BenchmarkObsOverheadParallel|BenchmarkNegotiate|BenchmarkInsertPending)$$
 
 # The chaos gate's sweep width: seeds per (policy, profile) cell. The full
 # acceptance sweep is 50; CI runs a shorter one under -race to keep the gate

@@ -436,6 +436,77 @@ func BenchmarkNegotiate(b *testing.B) {
 			})
 		}
 	}
+	// Sharded scan at the ROADMAP's 10k-node / 100k-job scale: one
+	// steady-state matchmaking cycle, shard counts 1/2/4/8. The slot
+	// collapse means the scan walks (cycle slots × machines), not (jobs ×
+	// machines), and the shards split the machine dimension across
+	// sim.Engine.Fanout workers — so on a multi-core host the cycle time
+	// drops near-linearly in the shard count until the serial pre-pass and
+	// commit phases dominate. On a single-core host the shard counts tie
+	// (Fanout runs inline); the sub-benchmarks still pin the absolute cycle
+	// cost at scale.
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pool=10000/jobs=100000/shards=%d", shards), func(b *testing.B) {
+			eng := sim.New()
+			clu := cluster.New(eng, cluster.Config{Nodes: 10_000, Seed: 1})
+			pool := condor.NewPool(eng, clu, scheduler.NewExclusive(),
+				condor.Config{NegotiationShards: shards})
+			jobs := make([]*job.Job, 100_000)
+			for i := range jobs {
+				jobs[i] = &job.Job{
+					ID: i, Name: "bench", Workload: "bench",
+					Mem:     100_000 + units.MB(i%7)*50,
+					Threads: units.Threads(16 + (i%15)*16),
+				}
+				jobs[i].Phases = []job.Phase{{Kind: job.HostPhase, Duration: units.Second}}
+			}
+			pool.Submit(jobs)
+			machines := pool.Machines()
+			// Prime one cycle so the measured iterations see the
+			// steady-state verdict caches, not the cold-start evaluation.
+			pool.NegotiateOnce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := machines[i%len(machines)]
+				m.Ad.SetInt(condor.AttrPhiFreeMemory, int64(4000+i%97))
+				pool.NegotiateOnce()
+			}
+		})
+	}
+}
+
+// BenchmarkInsertPending measures the pending-queue insert on its worst
+// case: every submitted job outranks the whole queue, so the binary search
+// replaces a full linear walk from the tail (the insert's tail shift is a
+// single memmove under both implementations — the search was the O(n)
+// term that made queue building O(n²) at the 100k-job scale).
+func BenchmarkInsertPending(b *testing.B) {
+	for _, depth := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			eng := sim.New()
+			clu := cluster.New(eng, cluster.Config{Nodes: 1, Seed: 1})
+			pool := condor.NewPool(eng, clu, scheduler.NewExclusive(), condor.Config{})
+			mk := func(id int) *job.Job {
+				j := &job.Job{
+					ID: id, Name: "bench", Workload: "bench",
+					Mem: 100_000, Threads: 60,
+				}
+				j.Phases = []job.Phase{{Kind: job.HostPhase, Duration: units.Second}}
+				return j
+			}
+			// Prime the queue at priority 0 (pure appends), then submit
+			// front-inserting probes at priority 1.
+			prime := make([]*job.Job, depth)
+			for i := range prime {
+				prime[i] = mk(i)
+			}
+			pool.Submit(prime)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.SubmitWithPriority([]*job.Job{mk(depth + i)}, 1)
+			}
+		})
+	}
 }
 
 // BenchmarkAutoclusterSignature measures one job-ad signature rendering —

@@ -17,6 +17,7 @@ package condor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"phishare/internal/classad"
@@ -141,8 +142,15 @@ type Machine struct {
 	// acVals memoizes Match verdicts against this machine per autocluster,
 	// indexed by acID − Pool.acBase (a dense array beats a hashed map on
 	// the negotiation hot path). Truncated whenever the signature table is
-	// wholesale cleared; see Pool.autoclusterOf.
+	// wholesale cleared; see Pool.autoclusterOf. During a sharded scan the
+	// array is written only by the machine's own shard worker
+	// (machine-exclusive state), which is what lets shards share it safely.
 	acVals []acVal
+	// claimGen stamps the negotiation cycle (Pool.cacheGen) whose commit
+	// phase last claimed this machine. The sharded commit re-validates a
+	// snapshot candidate against its live ad iff it carries the current
+	// cycle's stamp — any other machine's ad is untouched since the scan.
+	claimGen uint64
 }
 
 // AtCapacity reports whether every host slot is claimed.
@@ -259,6 +267,29 @@ type Config struct {
 	// the equivalence regression (and the chaos swarm's diff mode) can prove
 	// the grouped and ungrouped negotiators produce bit-identical outcomes.
 	DisableAutoclusters bool
+	// NegotiationShards partitions the machine inventory into this many
+	// contiguous shards and runs each negotiation cycle's matchmaking scan
+	// concurrently — one shard per worker, between sim event barriers
+	// (sim.Engine.Fanout) — against the cycle-start resource snapshot.
+	// Claims are then committed serially in canonical (priority, arrival)
+	// job order with candidates assembled in (shard, machine) order, and any
+	// machine a commit-phase claim dirtied is re-validated against its live
+	// ad before being offered again, so sharded and unsharded outcomes are
+	// bit-identical (TestShardedNegotiationBitIdentical).
+	//
+	// The equivalence holds for any policy whose machine Requirements are
+	// monotone under claims (a claim can only shrink the set of jobs a
+	// machine matches — true of every shipped policy: claims only consume
+	// free memory, devices, threads and slots). A policy whose machine ads
+	// could start matching a job *because* of a claim would need the serial
+	// scan.
+	//
+	// 0 (the default) keeps the serial scan; 1 exercises the sharded path on
+	// a single shard (for equivalence tests); K > 1 is clamped to the
+	// machine count. Sharding rides the autocluster snapshot, so
+	// DisableMatchCache or DisableAutoclusters force the serial scan
+	// regardless.
+	NegotiationShards int
 }
 
 // Lookahead returns the smallest delay by which node-confined activity can
@@ -334,12 +365,16 @@ type Pool struct {
 	pending  []*QueuedJob
 	inFlight int // dispatched but not yet terminal
 
-	negGen       uint64
 	negScheduled bool
 	nextNegAt    units.Tick
+	negTimer     *sim.Timer // outstanding negotiation trigger (cancelable)
 	emptyCycles  int
 	makespan     units.Tick
 	stats        Stats
+	// offline counts machines currently marked Offline, maintained by
+	// SetOffline (the mandated funnel) so finishCycle's stall accounting
+	// does not rescan the whole inventory every cycle tail.
+	offline int
 
 	// matchCache memoizes classad.Match per (machine, job) pair, keyed by
 	// both ads' mutation counters. It is the legacy (DisableAutoclusters)
@@ -399,6 +434,21 @@ type Pool struct {
 	qeditMuts  int // cumulative qedits that actually mutated an ad
 	selectCall int // policy.Select invocations in the current cycle
 
+	// Sharded negotiation state (Config.NegotiationShards; see shard.go).
+	// shards is the fixed contiguous machine partition (nil when the serial
+	// scan is in use) and shardRanges its public [lo, hi) view; the rest is
+	// per-cycle scratch reused across cycles: jobSlots maps each pending
+	// index to its cycle-local autocluster slot, cycleACs/slotJobs list the
+	// distinct autoclusters in first-appearance order with a representative
+	// job each, and slotOf is the dense acID−acBase → slot+1 table (entries
+	// are zeroed again at cycle end, so only touched slots cost anything).
+	shards      []negShard
+	shardRanges [][2]int
+	jobSlots    []int32
+	cycleACs    []int
+	slotJobs    []*QueuedJob
+	slotOf      []int32
+
 	// usage accumulates per-user device time (claim duration) for
 	// fair-share ordering.
 	usage map[string]units.Tick
@@ -428,6 +478,11 @@ type Pool struct {
 	obsCycleGap   *obs.Histogram
 	lastNegAt     units.Tick
 	hasNegotiated bool
+	// Per-shard cycle metrics (sharded negotiation): one labeled counter
+	// pair per shard, bumped serially after the scan workers join so the
+	// workers themselves never touch shared instruments.
+	obsShardEvals []*obs.Counter
+	obsShardCands []*obs.Counter
 }
 
 // matchKey identifies one matchmaking pair for the legacy match cache.
@@ -622,6 +677,7 @@ func NewPool(eng *sim.Engine, clu *cluster.Cluster, policy Policy, cfg Config) *
 		p.sigRoots = append(p.sigRoots, r)
 	}
 	sort.Strings(p.sigRoots)
+	p.planShards()
 	return p
 }
 
@@ -641,6 +697,15 @@ func (p *Pool) SetObserver(o *obs.Observer) {
 	p.obsAutoclu = o.Gauge("condor_autoclusters_pending")
 	p.obsCycleGap = o.Histogram("condor_negotiation_gap_seconds",
 		[]float64{1, 2, 5, 10, 20, 30, 60, 120})
+	p.obsShardEvals = p.obsShardEvals[:0]
+	p.obsShardCands = p.obsShardCands[:0]
+	for k := range p.shards {
+		id := strconv.Itoa(k)
+		p.obsShardEvals = append(p.obsShardEvals,
+			o.Counter("condor_shard_match_evals_total", "shard", id))
+		p.obsShardCands = append(p.obsShardCands,
+			o.Counter("condor_shard_candidates_total", "shard", id))
+	}
 }
 
 // Machines exposes the machine inventory (fixed order).
@@ -705,13 +770,16 @@ func (p *Pool) SubmitAs(user string, jobs []*job.Job, priority int) {
 }
 
 // insertPending keeps the pending queue ordered by (priority desc, arrival)
-// so the FIFO scan of negotiate respects priorities.
+// so the FIFO scan of negotiate respects priorities. The insertion point is
+// found by binary search — the old backward linear compare walk was O(n) per
+// insert, O(n²) to build the 100k-job queues the sharded negotiator targets
+// (the tail shift itself is a single memmove either way; see
+// BenchmarkInsertPending and TestInsertPendingMatchesLinearScan).
 func (p *Pool) insertPending(q *QueuedJob) {
 	p.dirty = true
-	i := len(p.pending)
-	for i > 0 && p.pending[i-1].Priority < q.Priority {
-		i--
-	}
+	i := sort.Search(len(p.pending), func(k int) bool {
+		return p.pending[k].Priority < q.Priority
+	})
 	p.pending = append(p.pending, nil)
 	copy(p.pending[i+1:], p.pending[i:])
 	p.pending[i] = q
@@ -746,6 +814,11 @@ func (p *Pool) Qedit(q *QueuedJob, requirements string) {
 
 // requestNegotiation schedules a negotiation after delay, keeping only the
 // earliest outstanding request. External policies add their reaction time.
+// A superseded trigger is truly removed from the event heap (sim.Timer.Stop)
+// rather than left to fire as a no-op: the old generation-check approach
+// kept one dead closure queued per superseded request, which grew the heap
+// without bound under sustained submit/qedit churn
+// (TestSupersededTriggersLeaveHeap).
 func (p *Pool) requestNegotiation(delay units.Tick) {
 	if ext, ok := p.policy.(ExternalPolicy); ok {
 		delay += ext.ExtraDelay()
@@ -757,14 +830,13 @@ func (p *Pool) requestNegotiation(delay units.Tick) {
 	if p.negScheduled && p.nextNegAt <= at {
 		return
 	}
-	p.negGen++
-	gen := p.negGen
+	if p.negTimer != nil {
+		p.negTimer.Stop()
+	}
 	p.negScheduled = true
 	p.nextNegAt = at
-	p.eng.At(at, func() {
-		if gen != p.negGen {
-			return // superseded by an earlier request
-		}
+	p.negTimer = p.eng.AtTimer(at, func() {
+		p.negTimer = nil
 		p.negScheduled = false
 		p.negotiate()
 	})
@@ -833,13 +905,44 @@ func (p *Pool) negotiate() {
 		})
 	}
 
+	var matched int
+	if len(p.shards) > 0 {
+		matched = p.negotiateSharded()
+	} else {
+		matched = p.scanSerial()
+	}
+	p.stats.Matches += matched
+
+	p.policy.PostNegotiation(p)
+
+	// The cycle itself is the last thing that could have dirtied the pool
+	// before the next trigger fires; from here on, only external events
+	// (submission, completion, fault, qedit) can.
+	p.lastNoOp = matched == 0 && p.selectCall == 0 && p.qeditMuts == qedits0
+	p.dirty = false
+	p.sweepCaches()
+
+	if p.obs != nil {
+		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_end",
+			obs.F("cycle", p.stats.Negotiations),
+			obs.F("matched", matched),
+			obs.F("pending", len(p.pending)))
+	}
+
+	p.finishCycle(matched)
+}
+
+// scanSerial is the classic single-threaded matchmaking scan: for each
+// pending job in order, evaluate every machine's live ad and hand the
+// matches to the policy. It remains the only path when sharding is off and
+// the reference path for the cache-disabled replay configurations.
+func (p *Pool) scanSerial() (matched int) {
 	autoclusters := !p.cfg.DisableMatchCache && !p.cfg.DisableAutoclusters
 	countClusters := autoclusters && p.obs != nil
 	if countClusters {
 		clear(p.acSeen)
 	}
 	clusters := 0
-	matched := 0
 	still := p.pending[:0] // in-place filter: write index trails read index
 	if cap(p.candScratch) < len(p.machines) {
 		p.candScratch = make([]*Machine, 0, len(p.machines))
@@ -892,28 +995,10 @@ func (p *Pool) negotiate() {
 		p.pending[i] = nil // drop matched-job references past the new length
 	}
 	p.pending = still
-	p.stats.Matches += matched
 	if countClusters {
 		p.obsAutoclu.Set(float64(clusters))
 	}
-
-	p.policy.PostNegotiation(p)
-
-	// The cycle itself is the last thing that could have dirtied the pool
-	// before the next trigger fires; from here on, only external events
-	// (submission, completion, fault, qedit) can.
-	p.lastNoOp = matched == 0 && p.selectCall == 0 && p.qeditMuts == qedits0
-	p.dirty = false
-	p.sweepCaches()
-
-	if p.obs != nil {
-		p.obs.Emit(p.eng.Now(), obs.LayerCondor, "negotiation_end",
-			obs.F("cycle", p.stats.Negotiations),
-			obs.F("matched", matched),
-			obs.F("pending", len(p.pending)))
-	}
-
-	p.finishCycle(matched)
+	return matched
 }
 
 // finishCycle is the tail every negotiation cycle — full or skipped — runs:
@@ -952,15 +1037,16 @@ func (p *Pool) finishCycle(matched int) {
 	}
 }
 
-// anyOffline reports whether any machine is currently marked Offline.
-func (p *Pool) anyOffline() bool {
-	for _, m := range p.machines {
-		if m.Offline {
-			return true
-		}
-	}
-	return false
-}
+// anyOffline reports whether any machine is currently marked Offline, from
+// the counter SetOffline maintains — finishCycle runs this on every cycle
+// tail, and the previous full-inventory scan was O(machines) per cycle.
+func (p *Pool) anyOffline() bool { return p.offline > 0 }
+
+// OfflineMachines reports how many machines are currently marked Offline.
+// The faults invariant checker compares it against a full scan at every
+// event boundary, so any SetOffline bypass or counter drift is caught the
+// moment it happens.
+func (p *Pool) OfflineMachines() int { return p.offline }
 
 // PokeNegotiation requests a negotiation cycle after the standard notify
 // delay. The fault layer calls it when a repaired node comes back, so idle
@@ -979,6 +1065,11 @@ func (p *Pool) SetOffline(m *Machine, offline bool) {
 		return
 	}
 	m.Offline = offline
+	if offline {
+		p.offline++
+	} else {
+		p.offline--
+	}
 	p.dirty = true
 }
 
@@ -987,18 +1078,28 @@ func (p *Pool) SetOffline(m *Machine, offline bool) {
 // bypassed) and suppressing both the follow-up negotiation the cycle would
 // normally schedule and any stall-counter accumulation. Benchmarks and tests
 // use it to measure one isolated cycle against a prepared queue.
+//
+// The probe restores every piece of negotiator state it touches — including
+// the dirty-cycle tracker (dirty, lastNoOp), which an earlier version leaked:
+// the probe cycle left dirty=false and its own lastNoOp behind, so the first
+// engine-driven cycle after a probe could take (or miss) the skip
+// short-circuit differently from an unprobed pool
+// (TestNegotiateOnceLeavesSkipStateUntouched).
 func (p *Pool) NegotiateOnce() {
-	p.dirty = true
+	dirty, noOp := p.dirty, p.lastNoOp
 	scheduled, at, empty := p.negScheduled, p.nextNegAt, p.emptyCycles
+	p.dirty = true
 	p.negScheduled, p.nextNegAt = true, 0 // makes requestNegotiation a no-op
 	p.negotiate()
 	p.negScheduled, p.nextNegAt, p.emptyCycles = scheduled, at, empty
+	p.dirty, p.lastNoOp = dirty, noOp
 }
 
 // claim reserves the machine's advertised resources and dispatches the job
 // through the shadow/starter path.
 func (p *Pool) claim(q *QueuedJob, m *Machine) {
 	p.dirty = true
+	m.claimGen = p.cacheGen
 	q.State = Dispatched
 	q.Machine = m
 	m.FreeMem -= q.Job.Mem

@@ -35,16 +35,18 @@ type ChaosConfig struct {
 	// headroom for injected crashes, or every fault cascades into a
 	// Failed job and nothing exercises the resubmit path).
 	Retries int
-	// DiffReference makes every cell run three times — once on the
+	// DiffReference makes every cell run five times — once on the
 	// optimized fast paths (parallel lanes included), once with
 	// autoclusters, the match cache, round memoization and the sparse
-	// knapsack solver all force-disabled, and once with the parallel
-	// simulation core forced off — and diffs the runs' summary metrics and
+	// knapsack solver all force-disabled, once with the parallel
+	// simulation core forced off, and once each with the negotiator
+	// sharded at K=1 and K=4 — and diffs the runs' summary metrics and
 	// full per-job record streams bit for bit. Any divergence is reported
 	// as a violation: under fault injection the caches see invalidation
-	// orders — and the parallel core sees barrier/window shapes — that the
-	// clean-path equivalence tests never produce, so this is the
-	// adversarial version of those guarantees.
+	// orders — and the parallel core sees barrier/window shapes, and the
+	// sharded commit sees claim-conflict orders — that the clean-path
+	// equivalence tests never produce, so this is the adversarial version
+	// of those guarantees.
 	DiffReference bool
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
@@ -104,25 +106,33 @@ func (f ChaosFailure) String() string {
 // divergence. Panics propagate to the caller.
 func ChaosRun(c ChaosConfig, seed int64, prof faults.Profile, policy string) []string {
 	c = c.withDefaults()
-	res, records, violations := chaosCell(c, seed, prof, policy, false, false)
+	res, records, violations := chaosCell(c, seed, prof, policy, false, false, 0)
 	if !c.DiffReference {
 		return violations
 	}
-	refRes, refRecords, refViolations := chaosCell(c, seed, prof, policy, true, false)
+	refRes, refRecords, refViolations := chaosCell(c, seed, prof, policy, true, false, 0)
 	violations = append(violations, refViolations...)
 	violations = append(violations, diffOutcomes("reference", res, records, refRes, refRecords)...)
-	serRes, serRecords, serViolations := chaosCell(c, seed, prof, policy, false, true)
+	serRes, serRecords, serViolations := chaosCell(c, seed, prof, policy, false, true, 0)
 	violations = append(violations, serViolations...)
-	return append(violations, diffOutcomes("parallel-off replay", res, records, serRes, serRecords)...)
+	violations = append(violations, diffOutcomes("parallel-off replay", res, records, serRes, serRecords)...)
+	for _, k := range []int{1, 4} {
+		shRes, shRecords, shViolations := chaosCell(c, seed, prof, policy, false, false, k)
+		violations = append(violations, shViolations...)
+		violations = append(violations,
+			diffOutcomes(fmt.Sprintf("sharded(K=%d) replay", k), res, records, shRes, shRecords)...)
+	}
+	return violations
 }
 
 // chaosCell runs one swarm cell under a fresh fault harness — on the
-// optimized configuration, the reference-path configuration, or (serial)
-// the optimized configuration with the parallel simulation core forced off
-// — and returns the run outcome plus the harness's invariant violations.
-// Every configuration sees the identical injection schedule: the injector
-// is driven purely by (profile, seed).
-func chaosCell(c ChaosConfig, seed int64, prof faults.Profile, policy string, reference, serial bool) (Result, []metrics.JobRecord, []string) {
+// optimized configuration, the reference-path configuration, (serial) the
+// optimized configuration with the parallel simulation core forced off, or
+// (shards > 0) with the negotiator sharded K ways — and returns the run
+// outcome plus the harness's invariant violations. Every configuration sees
+// the identical injection schedule: the injector is driven purely by
+// (profile, seed).
+func chaosCell(c ChaosConfig, seed int64, prof faults.Profile, policy string, reference, serial bool, shards int) (Result, []metrics.JobRecord, []string) {
 	h := &faults.Harness{Profile: prof, Seed: seed, Check: true}
 	cfg := RunConfig{
 		Policy: policy,
@@ -141,6 +151,9 @@ func chaosCell(c ChaosConfig, seed int64, prof faults.Profile, policy string, re
 		off := false
 		cfg.Parallel = &off
 	}
+	if shards > 0 {
+		cfg.Condor.NegotiationShards = shards
+	}
 	var records []metrics.JobRecord
 	cfg.RecordSink = &records
 	res := Run(cfg)
@@ -151,6 +164,8 @@ func chaosCell(c ChaosConfig, seed int64, prof faults.Profile, policy string, re
 		label = "reference path: "
 	case serial:
 		label = "parallel-off replay: "
+	case shards > 0:
+		label = fmt.Sprintf("sharded(K=%d) replay: ", shards)
 	}
 	if label != "" {
 		for i, v := range violations {

@@ -87,7 +87,7 @@ func Dynamic(o Options, dc DynamicConfig) []DynamicRow {
 }
 
 func runDynamic(o Options, policy string, jobs []*job.Job, arrivals []units.Tick) DynamicRow {
-	cfg := RunConfig{Policy: policy, Nodes: o.Nodes, Jobs: jobs, Seed: o.Seed}
+	cfg := RunConfig{Policy: policy, Nodes: o.Nodes, Jobs: jobs, Seed: o.Seed, Condor: o.condorCfg()}
 	eng := sim.New()
 	eng.MaxSteps = 500_000_000
 	clu := cluster.New(eng, cluster.Config{
@@ -95,7 +95,7 @@ func runDynamic(o Options, policy string, jobs []*job.Job, arrivals []units.Tick
 		UseCosmic: cfg.usesCosmic(),
 		Seed:      o.Seed,
 	})
-	pool := condor.NewPool(eng, clu, cfg.buildPolicy(), condor.Config{})
+	pool := condor.NewPool(eng, clu, cfg.buildPolicy(), cfg.Condor)
 	for i, j := range jobs {
 		j := j
 		eng.At(arrivals[i], func() { pool.Submit([]*job.Job{j}) })

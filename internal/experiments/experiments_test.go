@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -644,7 +645,7 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 		summary        metrics.Summary
 		records        []metrics.JobRecord
 	}
-	cell := func(policy string, seed int64, faulted, reference, serial bool) outcome {
+	cell := func(policy string, seed int64, faulted, reference, serial bool, shards int) outcome {
 		jobs := job.GenerateTableOneSet(60, rng.New(seed).Fork("tableI"))
 		cfg := RunConfig{Policy: policy, Nodes: 3, Jobs: jobs, Seed: seed}
 		var recs []metrics.JobRecord
@@ -657,6 +658,7 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 			off := false
 			cfg.Parallel = &off
 		}
+		cfg.Condor.NegotiationShards = shards
 		var h *faults.Harness
 		if faulted {
 			h = &faults.Harness{Profile: faults.LightProfile(), Seed: seed, Check: true}
@@ -696,12 +698,17 @@ func TestReferencePathOutcomeEquivalence(t *testing.T) {
 				// opt runs with parallel lanes auto-enabled; ref forces every
 				// scheduler optimization onto its reference path (also
 				// parallel); ser is the optimized configuration with the
-				// parallel core forced off. All three must be bit-identical.
-				opt := cell(policy, seed, faulted, false, false)
-				ref := cell(policy, seed, faulted, true, false)
-				ser := cell(policy, seed, faulted, false, true)
+				// parallel core forced off; sh1/sh4 run the sharded
+				// negotiator at K=1 and K=4. All five must be bit-identical.
+				opt := cell(policy, seed, faulted, false, false, 0)
+				ref := cell(policy, seed, faulted, true, false, 0)
+				ser := cell(policy, seed, faulted, false, true, 0)
 				compare(policy, seed, faulted, "reference path", opt, ref)
 				compare(policy, seed, faulted, "serial engine", opt, ser)
+				for _, k := range []int{1, 4} {
+					sh := cell(policy, seed, faulted, false, false, k)
+					compare(policy, seed, faulted, fmt.Sprintf("sharded K=%d", k), opt, sh)
+				}
 			}
 		}
 	}

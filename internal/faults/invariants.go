@@ -84,8 +84,19 @@ func (c *Checker) Check() {
 }
 
 // checkMachines verifies each machine's claim bookkeeping against the
-// resident set it implies.
+// resident set it implies, and the pool's offline counter against a full
+// scan (finishCycle trusts the counter; SetOffline is its only writer, so
+// drift here means a bypass wrote Machine.Offline directly).
 func (c *Checker) checkMachines() {
+	offline := 0
+	for _, m := range c.pool.Machines() {
+		if m.Offline {
+			offline++
+		}
+	}
+	if got := c.pool.OfflineMachines(); got != offline {
+		c.fail("pool: offline counter %d != %d machines marked offline", got, offline)
+	}
 	for _, m := range c.pool.Machines() {
 		if c.memGuarded && m.FreeMem < 0 {
 			var ids []int

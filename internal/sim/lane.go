@@ -172,6 +172,9 @@ func (l *Lane) schedule(t units.Tick, fn func(), tm *Timer) {
 		}
 		ev := l.alloc()
 		ev.at, ev.seq, ev.fn, ev.tm, ev.lane = t, 0, fn, tm, l
+		if tm != nil {
+			tm.ev = ev
+		}
 		l.hseq++
 		ev.hseq = l.hseq
 		l.heap.push(ev)
@@ -185,6 +188,9 @@ func (l *Lane) schedule(t units.Tick, fn func(), tm *Timer) {
 		e.seq++
 		ev := l.alloc()
 		ev.at, ev.seq, ev.fn, ev.tm, ev.lane = t, e.seq, fn, tm, l
+		if tm != nil {
+			tm.ev = ev
+		}
 		l.hseq++
 		ev.hseq = l.hseq
 		l.heap.push(ev)
@@ -209,9 +215,11 @@ func (l *Lane) allocTimer() *Timer {
 			l.tmFree[n-1] = nil
 			l.tmFree = l.tmFree[:n-1]
 			tm.stopped = false
+			tm.ev = nil
+			tm.eng = e
 			return tm
 		}
-		return &Timer{}
+		return &Timer{eng: e}
 	}
 	return e.allocTimer()
 }

@@ -165,38 +165,9 @@ func (e *Engine) runEpoch(w units.Tick, bounded bool, gseq uint64) {
 			l.runSlice(w, bounded, gseq)
 		}
 	} else {
-		var (
-			next int64
-			wg   sync.WaitGroup
-			mu   sync.Mutex
-			rec  any
-		)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						mu.Lock()
-						if rec == nil {
-							rec = r
-						}
-						mu.Unlock()
-					}
-				}()
-				for {
-					k := atomic.AddInt64(&next, 1) - 1
-					if k >= int64(len(active)) {
-						return
-					}
-					active[k].runSlice(w, bounded, gseq)
-				}
-			}()
-		}
-		wg.Wait()
-		if rec != nil {
-			panic(rec)
-		}
+		fanWork(len(active), n, func(k int) {
+			active[k].runSlice(w, bounded, gseq)
+		})
 	}
 	e.ctx = ctxSerial
 
@@ -204,6 +175,83 @@ func (e *Engine) runEpoch(w units.Tick, bounded bool, gseq uint64) {
 	if e.AfterStep != nil {
 		e.AfterStep()
 	}
+}
+
+// fanWork distributes indices [0, n) over w worker goroutines with an
+// atomic work-stealing counter, waits for all of them, and re-raises the
+// first panic any worker hit. It is the one goroutine-spawn site shared by
+// the epoch executor and Fanout.
+func fanWork(n, w int, fn func(int)) {
+	var (
+		next int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		rec  any
+	)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if rec == nil {
+						rec = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				k := atomic.AddInt64(&next, 1) - 1
+				if k >= int64(n) {
+					return
+				}
+				fn(int(k))
+			}
+		}()
+	}
+	wg.Wait()
+	if rec != nil {
+		panic(rec)
+	}
+}
+
+// Fanout runs fn(0), …, fn(n-1) on the engine's worker pool and returns
+// once every call has completed. It is the barrier-stage fan-out hook for
+// deterministic parallel phases inside a single event: the sharded Condor
+// negotiator runs its per-shard matchmaking scans through it between event
+// barriers. The contract mirrors the lane discipline: the n calls must be
+// mutually independent — each may read shared snapshot state but write only
+// its own shard's — and every cross-shard effect must be applied by the
+// caller after Fanout returns, in a canonical order, so outcomes stay
+// bit-identical regardless of worker interleaving.
+//
+// Fanout is legal from serial code and from barrier context (a global
+// event executing between epochs); calling it from an epoch window or from
+// a closure replayed by the canonical walk panics. On a serial engine the
+// worker count defaults to GOMAXPROCS; a parallel engine reuses its
+// configured worker count. n or workers of 1 degenerate to an inline loop.
+func (e *Engine) Fanout(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if e.ctx != ctxSerial {
+		panic("sim: Fanout outside barrier context (called from an epoch window or canonical walk)")
+	}
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	fanWork(n, w, fn)
 }
 
 // runnable reports whether the lane's next event falls inside the window.
@@ -230,6 +278,7 @@ func (l *Lane) runSlice(w units.Tick, bounded bool, gseq uint64) {
 		l.now = ev.at
 		l.cur = ev
 		if tm := ev.tm; tm != nil {
+			tm.ev = nil
 			if !tm.stopped {
 				ev.fn()
 			}
@@ -268,6 +317,7 @@ func (l *Lane) runFused(w units.Tick, bounded bool, gseq uint64) {
 			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (runaway event loop?)", e.MaxSteps, e.now))
 		}
 		if tm := ev.tm; tm != nil {
+			tm.ev = nil
 			if !tm.stopped {
 				ev.fn()
 			}

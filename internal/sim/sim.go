@@ -42,10 +42,14 @@ type event struct {
 	hseq uint64
 	lane *Lane // owning lane; nil for global events
 	fn   func()
-	// tm, when non-nil, makes this a cancelable timer event: fn is skipped
-	// if the timer was stopped, and the Timer struct returns to the free
-	// list after the instant passes.
+	// tm, when non-nil, makes this a cancelable timer event: Timer.Stop
+	// removes the event from its owning heap, and the Timer struct returns
+	// to the free list once the event fires or is stopped.
 	tm *Timer
+	// idx is the event's current position in its owning heap, maintained by
+	// every sift so Timer.Stop can remove a queued event in O(log n). -1
+	// while the event is not queued (executing, logged, or on a free list).
+	idx int
 	// acts is the action log recorded while the event executes inside a
 	// parallel epoch: the events it scheduled and the global closures it
 	// deferred, in emission order, replayed by the canonical walk.
@@ -78,43 +82,72 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].hseq < h[j].hseq
 }
 
-func (h *eventHeap) push(ev *event) {
-	*h = append(*h, ev)
-	j := len(*h) - 1
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+// siftUp restores the heap property upward from position j.
+func (h eventHeap) siftUp(j int) {
 	for j > 0 {
 		parent := (j - 1) / 2
-		if !(*h).less(j, parent) {
+		if !h.less(j, parent) {
 			break
 		}
-		(*h)[j], (*h)[parent] = (*h)[parent], (*h)[j]
+		h.swap(j, parent)
 		j = parent
 	}
 }
 
-func (h *eventHeap) pop() *event {
-	old := *h
-	n := len(old) - 1
-	ev := old[0]
-	old[0] = old[n]
-	old[n] = nil
-	old = old[:n]
-	*h = old
-	// Sift the relocated root down.
-	j := 0
+// siftDown restores the heap property downward from position j.
+func (h eventHeap) siftDown(j int) {
+	n := len(h)
 	for {
 		l, r := 2*j+1, 2*j+2
 		smallest := j
-		if l < n && old.less(l, smallest) {
+		if l < n && h.less(l, smallest) {
 			smallest = l
 		}
-		if r < n && old.less(r, smallest) {
+		if r < n && h.less(r, smallest) {
 			smallest = r
 		}
 		if smallest == j {
 			break
 		}
-		old[j], old[smallest] = old[smallest], old[j]
+		h.swap(j, smallest)
 		j = smallest
+	}
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	ev.idx = len(*h) - 1
+	(*h).siftUp(ev.idx)
+}
+
+func (h *eventHeap) pop() *event {
+	return h.remove(0)
+}
+
+// remove extracts the event at heap position i (the minimum when i == 0),
+// preserving the heap property. The removed event's idx is set to -1.
+func (h *eventHeap) remove(i int) *event {
+	old := *h
+	n := len(old) - 1
+	ev := old[i]
+	ev.idx = -1
+	old[i] = old[n]
+	old[n] = nil
+	old = old[:n]
+	*h = old
+	if i < n {
+		moved := old[i] // the relocated last element
+		moved.idx = i
+		// The relocated event may violate the property in either direction
+		// (it came from an unrelated subtree when i is mid-heap).
+		old.siftDown(i)
+		old.siftUp(moved.idx)
 	}
 	return ev
 }
@@ -263,6 +296,9 @@ func (e *Engine) scheduleSerial(t units.Tick, fn func(), tm *Timer) {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.hseq, ev.fn, ev.tm, ev.lane = t, e.seq, e.seq, fn, tm, nil
+	if tm != nil {
+		tm.ev = ev
+	}
 	e.events.push(ev)
 }
 
@@ -320,6 +356,7 @@ func (e *Engine) step() {
 	// callback's own scheduling draws from the free list populated by
 	// earlier steps.
 	if tm != nil {
+		tm.ev = nil // off the heap: a Stop from inside fn must not remove
 		if !tm.stopped {
 			fn()
 		}
@@ -337,17 +374,31 @@ func (e *Engine) step() {
 
 // Timer is a cancelable scheduled event. It is used by components that may
 // need to retract a pending action, e.g. the PCIe link retracting a DMA
-// completion tick when the in-flight transfer set changes.
+// completion tick when the in-flight transfer set changes, or the Condor
+// negotiator retracting a superseded negotiation trigger.
 //
-// Timers are pooled: once a timer's instant passes (fired or stopped, it
-// makes no difference), the struct returns to the engine's free list and the
-// next AtTimer may hand it out again. A caller must therefore drop its
-// handle once the timer has fired — calling Stop on a handle whose instant
-// has passed may cancel an unrelated, recycled timer. Every current caller
-// clears its handle in the callback (or stops the timer and nils the handle
-// in the same breath), which is the pattern to keep.
+// Stop removes the queued event from its owning heap, so a stopped timer
+// costs nothing at its former instant — no dead closure survives in the
+// queue (Pending drops immediately).
+//
+// Timers are pooled: once a timer fires or is stopped, the struct returns
+// to the engine's free list and the next AtTimer may hand it out again. A
+// caller must therefore drop its handle once the timer has fired or been
+// stopped — calling Stop on a spent handle may cancel an unrelated,
+// recycled timer. Every current caller clears its handle in the callback
+// (or stops the timer and nils the handle in the same breath), which is the
+// pattern to keep.
+//
+// Lane confinement extends to timers: a node-lane timer may only be stopped
+// from its own lane's context, and a global timer only from barrier or walk
+// context — the same scopes that could have scheduled it.
 type Timer struct {
 	stopped bool
+	// ev is the queued event, nil once the event fired or was removed.
+	ev *event
+	// eng is the owning engine, for free-list access when Stop removes a
+	// global (lane-less) event.
+	eng *Engine
 }
 
 // AtTimer schedules fn at absolute time t on the global lane and returns a
@@ -373,15 +424,39 @@ func (e *Engine) allocTimer() *Timer {
 		e.tmFree[n-1] = nil
 		e.tmFree = e.tmFree[:n-1]
 		tm.stopped = false
+		tm.ev = nil
+		tm.eng = e
 		return tm
 	}
-	return &Timer{}
+	return &Timer{eng: e}
 }
 
-// Stop cancels the timer. Stopping an already-stopped timer is a no-op;
-// stopping a timer whose instant has already passed is a caller bug (the
+// Stop cancels the timer and removes its event from the owning heap, so
+// neither struct lingers until the instant passes. Stopping a timer whose
+// callback is currently executing only marks it stopped (the event is
+// already off the heap). Stopping a spent handle is a caller bug (the
 // struct may have been recycled — see the Timer doc).
-func (t *Timer) Stop() { t.stopped = true }
+func (t *Timer) Stop() {
+	t.stopped = true
+	ev := t.ev
+	if ev == nil {
+		return
+	}
+	t.ev = nil
+	ev.tm = nil
+	ev.fn = nil
+	if l := ev.lane; l != nil {
+		l.heap.remove(ev.idx)
+		ev.lane = nil
+		l.free = append(l.free, ev)
+		l.tmFree = append(l.tmFree, t)
+		return
+	}
+	e := t.eng
+	e.events.remove(ev.idx)
+	e.free = append(e.free, ev)
+	e.tmFree = append(e.tmFree, t)
+}
 
 // Stopped reports whether Stop has been called.
 func (t *Timer) Stopped() bool { return t.stopped }

@@ -172,6 +172,69 @@ func TestTimerStopAfterFireIsNoop(t *testing.T) {
 	}
 }
 
+// TestTimerStopRemovesQueuedEvent pins the true-removal contract: Stop takes
+// the event out of the heap immediately (Pending drops) and recycles both
+// event and timer, so a churn of start/stop cycles cannot grow the heap.
+// Before heap-index tracking, a stopped timer left a dead closure queued
+// until its deadline — unbounded growth under supersede-heavy workloads.
+func TestTimerStopRemovesQueuedEvent(t *testing.T) {
+	e := New()
+	base := e.Pending()
+	tm := e.AfterTimer(1000, func() { t.Error("stopped timer fired") })
+	if e.Pending() != base+1 {
+		t.Fatalf("Pending = %d after schedule, want %d", e.Pending(), base+1)
+	}
+	tm.Stop()
+	if e.Pending() != base {
+		t.Fatalf("Pending = %d after Stop, want %d (event not removed)", e.Pending(), base)
+	}
+	// Churn: every start is immediately superseded. With true removal the
+	// queue stays at one live event; without it, the heap accrues a dead
+	// closure per iteration.
+	for i := 0; i < 10_000; i++ {
+		tm = e.AfterTimer(units.Tick(1000+i), func() { t.Error("superseded timer fired") })
+		tm.Stop()
+	}
+	if e.Pending() != base {
+		t.Fatalf("Pending = %d after churn, want %d", e.Pending(), base)
+	}
+	// The heap still orders correctly after mid-heap removals interleaved
+	// with live events.
+	var order []int
+	for _, d := range []units.Tick{30, 10, 20} {
+		d := d
+		e.After(d, func() { order = append(order, int(d)) })
+	}
+	doomed := e.AfterTimer(15, func() { t.Error("doomed timer fired") })
+	doomed.Stop()
+	e.Run()
+	if len(order) != 3 || order[0] != 10 || order[1] != 20 || order[2] != 30 {
+		t.Fatalf("fire order %v, want [10 20 30]", order)
+	}
+}
+
+// TestLaneTimerStopRemovesQueuedEvent is the lane-heap variant: Stop on a
+// node-lane timer removes the event from the lane's private heap and returns
+// both objects to the lane pools.
+func TestLaneTimerStopRemovesQueuedEvent(t *testing.T) {
+	e := New()
+	l := e.NodeLane(0)
+	base := e.Pending()
+	for i := 0; i < 1000; i++ {
+		tm := l.AfterTimer(units.Tick(100+i), func() { t.Error("stopped lane timer fired") })
+		tm.Stop()
+	}
+	if e.Pending() != base {
+		t.Fatalf("Pending = %d after lane-timer churn, want %d", e.Pending(), base)
+	}
+	fired := false
+	l.AfterTimer(5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("live lane timer did not fire after churned stops")
+	}
+}
+
 func TestMaxStepsGuard(t *testing.T) {
 	e := New()
 	e.MaxSteps = 100
