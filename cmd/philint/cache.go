@@ -1,0 +1,119 @@
+package main
+
+// Findings cache: a warm `make lint` should cost file hashing, not type
+// checking. The key is the SHA-256 of every loaded source file's path and
+// contents (in deterministic load order), so ANY source edit — including to
+// the analyzer itself, whose sources are part of the module walk — produces
+// a different key and a cold run. The cached value is the full pre-filter
+// findings list; package patterns are applied after loading, so every
+// pattern shares one cache entry.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"phishare/internal/analysis"
+)
+
+// cacheSchema versions the cached JSON; bump on incompatible changes to the
+// Finding shape.
+const cacheSchema = "philint-cache-v1"
+
+// cacheEntry is the on-disk cache value.
+type cacheEntry struct {
+	Schema   string             `json:"schema"`
+	Findings []analysis.Finding `json:"findings"`
+}
+
+// cacheKey hashes the loaded module's sources. Packages and files arrive in
+// deterministic order from LoadModule, so the digest is stable.
+func cacheKey(root string, pkgs []*analysis.Package) (string, bool) {
+	h := sha256.New()
+	h.Write([]byte(cacheSchema + "\n"))
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				return "", false
+			}
+			rel, err := filepath.Rel(root, name)
+			if err != nil {
+				rel = name
+			}
+			h.Write([]byte(filepath.ToSlash(rel) + "\n"))
+			h.Write(src)
+			h.Write([]byte{0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// cachedFindings returns the cached findings for the current source state,
+// if the cache directory holds a matching entry.
+func cachedFindings(root, dir string, pkgs []*analysis.Package) ([]analysis.Finding, bool) {
+	if dir == "" {
+		return nil, false
+	}
+	key, ok := cacheKey(root, pkgs)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(cachePath(root, dir), key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil || entry.Schema != cacheSchema {
+		return nil, false
+	}
+	// A cached empty list unmarshals as nil; distinguish "hit, clean" from
+	// "miss" by the schema check above.
+	return entry.Findings, true
+}
+
+// writeCache stores the findings under the current source key, pruning
+// entries for other keys (one source state is live at a time).
+func writeCache(root, dir string, pkgs []*analysis.Package, findings []analysis.Finding) {
+	if dir == "" {
+		return
+	}
+	key, ok := cacheKey(root, pkgs)
+	if !ok {
+		return
+	}
+	path := cachePath(root, dir)
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return
+	}
+	if entries, err := os.ReadDir(path); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".json") && e.Name() != key+".json" {
+				os.Remove(filepath.Join(path, e.Name()))
+			}
+		}
+	}
+	data, err := json.MarshalIndent(cacheEntry{Schema: cacheSchema, Findings: findings}, "", "\t")
+	if err != nil {
+		return
+	}
+	// Best-effort: a failed write only costs the next run a re-analysis.
+	tmp := filepath.Join(path, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(path, key+".json"))
+}
+
+// cachePath anchors a relative cache directory at the module root, so the
+// gate works from any working directory.
+func cachePath(root, dir string) string {
+	if filepath.IsAbs(dir) {
+		return dir
+	}
+	return filepath.Join(root, dir)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phishare/internal/analysis"
+)
+
+func writeTempModule(t *testing.T, root, src string) []*analysis.Package {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module phishare\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "internal", "core"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "internal", "core", "core.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestCacheRoundTrip pins the warm-gate contract: identical sources hit the
+// cached findings (including a hit for an EMPTY findings list — the common
+// clean-tree case), and any source edit changes the key and misses.
+func TestCacheRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	pkgs := writeTempModule(t, root, "package core\n\nfunc F() int { return 1 }\n")
+
+	if _, ok := cachedFindings(root, ".pc", pkgs); ok {
+		t.Fatal("cold cache reported a hit")
+	}
+
+	findings := []analysis.Finding{{Rule: "wallclock", Message: "fixture finding"}}
+	writeCache(root, ".pc", pkgs, findings)
+	got, ok := cachedFindings(root, ".pc", pkgs)
+	if !ok || len(got) != 1 || got[0].Rule != "wallclock" {
+		t.Fatalf("warm cache: got %v, %v; want the stored finding", got, ok)
+	}
+
+	// A clean result must round-trip as a hit too, or clean trees would
+	// re-analyze every run.
+	writeCache(root, ".pc", pkgs, nil)
+	if got, ok := cachedFindings(root, ".pc", pkgs); !ok || len(got) != 0 {
+		t.Fatalf("clean-tree cache: got %v, %v; want empty hit", got, ok)
+	}
+
+	// Any source edit — this models editing the analyzer itself just as
+	// much as editing checked code — must miss.
+	pkgs = writeTempModule(t, root, "package core\n\nfunc F() int { return 2 }\n")
+	if _, ok := cachedFindings(root, ".pc", pkgs); ok {
+		t.Fatal("cache hit after a source edit")
+	}
+}

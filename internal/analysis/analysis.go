@@ -32,11 +32,18 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at one source position.
+// Finding is one rule violation at one source position. Whole-program
+// findings additionally carry the sim-path entry the violation is reachable
+// from: the primary position is the offending site, Entry the call site
+// inside the entry function that starts the chain. An ignore directive at
+// either location suppresses the finding.
 type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Entry is the secondary attribution of a transitive finding (zero
+	// Filename when the finding is purely local).
+	Entry token.Position
 }
 
 // String renders the finding in the canonical file:line: rule: message
@@ -137,7 +144,9 @@ func RunPackage(a *Analyzer, pkg *Package) []Finding {
 // suppression applied: the entry point behind cmd/philint. Malformed
 // directives surface as findings under the pseudo-rule "philint".
 func Lint(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	known := map[string]bool{}
+	// The directive rule namespace is global: a //philint:ignore naming a
+	// whole-program rule is well-formed even on a per-file-only run.
+	known := AllRuleNames()
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
@@ -227,10 +236,17 @@ func isStandalone(pkg *Package, pos token.Position) bool {
 }
 
 // suppressed reports whether a directive covers the finding: same rule,
-// same file, same (resolved) line.
+// same file, same (resolved) line — at the primary position, or, for a
+// transitive finding, at its entry attribution.
 func suppressed(f Finding, dirs []directive) bool {
 	for _, d := range dirs {
-		if d.rule == f.Rule && d.file == f.Pos.Filename && d.line == f.Pos.Line {
+		if d.rule != f.Rule {
+			continue
+		}
+		if d.file == f.Pos.Filename && d.line == f.Pos.Line {
+			return true
+		}
+		if f.Entry.Filename != "" && d.file == f.Entry.Filename && d.line == f.Entry.Line {
 			return true
 		}
 	}

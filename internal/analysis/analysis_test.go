@@ -179,7 +179,7 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("LoadModule found only %d packages; walk is broken", len(pkgs))
 	}
-	findings := Lint(pkgs, Analyzers())
+	findings := LintAll(pkgs, Analyzers(), WholeAnalyzers())
 	for _, f := range findings {
 		t.Errorf("unsuppressed finding: %s", f)
 	}

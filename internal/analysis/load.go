@@ -141,6 +141,11 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// MatchesPattern reports whether the module-relative directory rel is
+// selected by the go-tool-shaped pattern ("./...", "./dir/...", "./dir").
+// cmd/philint uses it to scope reporting after a whole-module analysis.
+func MatchesPattern(rel, pattern string) bool { return matchesAny(rel, []string{pattern}) }
+
 // matchesAny reports whether the module-relative directory rel is selected
 // by any pattern.
 func matchesAny(rel string, patterns []string) bool {

@@ -1,0 +1,54 @@
+// Package cgzoo is the callee side of the call-graph fixture: an interface
+// with two implementations, three same-signature functions of which only two
+// are ever taken as values, and direct plus mutual recursion.
+package cgzoo
+
+// Animal is dispatched through an interface by the app package.
+type Animal interface{ Speak() string }
+
+// Dog implements Animal with a value receiver.
+type Dog struct{}
+
+// Speak implements Animal.
+func (Dog) Speak() string { return "woof" }
+
+// Cat implements Animal with a pointer receiver.
+type Cat struct{ hungry bool }
+
+// Speak implements Animal.
+func (c *Cat) Speak() string {
+	if c.hungry {
+		return "MEOW"
+	}
+	return "meow"
+}
+
+// Transform and Triple share a signature and are both taken as values by
+// the app package; Unreferenced has the same signature but its value is
+// never taken, so a function-typed call must not resolve to it.
+func Transform(n int) int { return n + 1 }
+
+// Triple is the second address-taken candidate.
+func Triple(n int) int { return 3 * n }
+
+// Unreferenced must stay outside every function-value candidate set.
+func Unreferenced(n int) int { return n * 5 }
+
+// Rec is directly recursive.
+func Rec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Rec(n - 1)
+}
+
+// MutualA and MutualB recurse through each other.
+func MutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return MutualB(n - 1)
+}
+
+// MutualB is the other half of the cycle.
+func MutualB(n int) int { return MutualA(n) }

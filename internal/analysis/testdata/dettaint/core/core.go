@@ -1,0 +1,27 @@
+// Package core is the sim-path entry side of the dettaint fixture. It
+// contains no banned construct itself — everything it is charged with
+// arrives through call chains into internal/estimator, which the per-file
+// rules cannot connect to the sim path.
+package core
+
+import "phishare/internal/estimator"
+
+// Plan carries per-job weights keyed by job name.
+type Plan struct {
+	Weights map[string]float64
+}
+
+// Schedule is a sim-path entry point. The order-sensitive map range it
+// reaches is two hops away (Blend → mix), and the wall-clock read it
+// reaches carries a site-local suppression that reachability disproves.
+func Schedule(p *Plan) float64 {
+	score := estimator.Blend(p.Weights)
+	return score + estimator.Stamp()
+}
+
+// ScheduleQuiet reaches a second order-sensitive range, but the entry call
+// site carries a dettaint directive: a transitive finding is suppressible
+// at its entry attribution, not only at the offending site.
+func ScheduleQuiet(p *Plan) float64 {
+	return estimator.Decay(p.Weights) //philint:ignore dettaint replay fixture: weights map is a singleton here
+}

@@ -1,0 +1,39 @@
+// Package estimator is the helper side of the dettaint fixture: a
+// non-sim-path package (mapiter does not apply here) holding the banned
+// constructs that sim-path code reaches transitively.
+package estimator
+
+import "time"
+
+// Blend is the one-hop helper; the banned range is one hop further down.
+func Blend(w map[string]float64) float64 {
+	return mix(w)
+}
+
+// mix folds the weights with an order-sensitive accumulator: the result
+// depends on Go's randomized map iteration order. Per-file mapiter is out
+// of scope in this package; only reachability from core.Schedule sees it.
+func mix(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		total = total*0.5 + v
+	}
+	return total
+}
+
+// Decay is the second order-sensitive fold, reached only from the entry
+// whose call site suppresses the finding.
+func Decay(w map[string]float64) float64 {
+	acc := 1.0
+	for _, v := range w {
+		acc = acc/2 + v
+	}
+	return acc
+}
+
+// Stamp reads the wall clock. The per-file wallclock finding is suppressed
+// with a context justification — which dettaint re-flags, because the
+// chain from core.Schedule proves this IS on the sim path.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) //philint:ignore wallclock harness-side profiling, not sim state
+}

@@ -1,0 +1,26 @@
+// Package classad is the matcher stub: Match carries the strict purity
+// contract (no exemptions), and the fixture makes it observably impure
+// through a package-level counter.
+package classad
+
+// Ad is a bag of integer attributes.
+type Ad struct {
+	attrs map[string]int
+}
+
+var matched int
+
+// Match reports whether a's total dominates b's. The counter write is the
+// flagged impurity; the fold in score is order-insensitive and clean.
+func Match(a, b *Ad) bool {
+	matched++
+	return score(a) >= score(b)
+}
+
+func score(a *Ad) int {
+	total := 0
+	for _, v := range a.attrs {
+		total += v
+	}
+	return total
+}

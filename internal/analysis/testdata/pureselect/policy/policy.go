@@ -1,0 +1,36 @@
+// Package scheduler defines the Policy interface whose Select
+// implementations pureselect discovers by CHA: Random's only effect is
+// drawing from the deterministic stream (exempt), Sticky memoizes on its
+// receiver (flagged).
+package scheduler
+
+import "phishare/internal/rng"
+
+// Policy picks one candidate index.
+type Policy interface {
+	Select(cands []int) int
+}
+
+// Random consults the deterministic stream: allowed by the rng exemption.
+type Random struct {
+	src *rng.Source
+}
+
+// Select draws one candidate uniformly from the stream.
+func (r *Random) Select(cands []int) int {
+	return cands[int(r.src.Uint64()%uint64(len(cands)))]
+}
+
+// Sticky memoizes its last pick on the receiver: observably impure, two
+// calls with the same arguments can differ.
+type Sticky struct {
+	last int
+}
+
+// Select returns the first candidate and remembers it.
+func (s *Sticky) Select(cands []int) int {
+	if len(cands) > 0 {
+		s.last = cands[0]
+	}
+	return s.last
+}

@@ -1,0 +1,15 @@
+// Package rng is the deterministic-stream stub: advancing the stream is a
+// receiver write originating in internal/rng, the one effect Select
+// implementations are allowed.
+package rng
+
+// Source is a stand-in deterministic stream.
+type Source struct {
+	state uint64
+}
+
+// Uint64 advances the stream and returns the next value.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
