@@ -72,9 +72,11 @@ type Graph struct {
 	Edges map[*FuncInfo][]Edge
 	// External lists each function's calls into non-module code.
 	External map[*FuncInfo][]ExtCall
-	// Unresolved records call sites through function-typed values for which
-	// no address-taken module function matched (externally produced
-	// callbacks); conservative rules treat them as unanalyzable.
+	// Unresolved records dynamic call sites with zero module candidates:
+	// calls through function-typed values no address-taken module function
+	// matches (externally produced callbacks), and calls through interface
+	// methods no module type implements (values produced outside the
+	// module). Conservative rules treat them as unanalyzable.
 	Unresolved map[*FuncInfo][]token.Pos
 
 	// addrTaken maps module functions whose value escapes a direct call
@@ -254,7 +256,17 @@ func (g *Graph) addCalls(fi *FuncInfo) {
 			if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
 				// Interface method call: fan out to every implementation.
 				iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
-				for _, impl := range g.Implementations(iface, callee.Name()) {
+				impls := g.Implementations(iface, callee.Name())
+				if len(impls) == 0 {
+					// No module type satisfies the interface, so the value
+					// behind it was produced outside the module and the
+					// dynamic target is unanalyzable — record the site so
+					// the conservative rules treat it like any other
+					// dynamic call, not as effect-free.
+					g.Unresolved[fi] = append(g.Unresolved[fi], call.Lparen)
+					return true
+				}
+				for _, impl := range impls {
 					g.Edges[fi] = append(g.Edges[fi], Edge{To: impl, Pos: call.Lparen, Kind: EdgeIface})
 				}
 				return true

@@ -164,4 +164,15 @@ func TestCallGraphValueFlows(t *testing.T) {
 	if n := len(g.Edges[stranger]); n != 0 {
 		t.Errorf("CallStranger has %d edges, want 0", n)
 	}
+
+	// An interface call no module type implements is likewise unresolved —
+	// the value behind it came from outside the module, and modeling the
+	// call as effect-free would be an unsound hole.
+	alien := fixtureFunc(t, mod, app, "CallAlien")
+	if n := len(g.Unresolved[alien]); n != 1 {
+		t.Errorf("CallAlien has %d unresolved sites, want 1", n)
+	}
+	if n := len(g.Edges[alien]); n != 0 {
+		t.Errorf("CallAlien has %d edges, want 0", n)
+	}
 }

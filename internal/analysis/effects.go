@@ -35,6 +35,9 @@ const (
 	pLocal prov = iota
 	// pOwned: derived from the Fanout shard index (shardsafe only).
 	pOwned
+	// pCaptured: a local of the enclosing function captured by a worker
+	// closure — one variable shared by every shard worker (shardsafe only).
+	pCaptured
 	// pRecv: reaches the receiver.
 	pRecv
 	// pParam: reaches parameter provVal.param.
@@ -52,6 +55,8 @@ func (p prov) String() string {
 		return "local"
 	case pOwned:
 		return "shard-owned"
+	case pCaptured:
+		return "captured enclosing-function"
 	case pRecv:
 		return "receiver"
 	case pParam:
@@ -90,6 +95,33 @@ type provEnv struct {
 	mod  *Module
 	fi   *FuncInfo
 	vals map[types.Object]provVal
+
+	// litLo/litHi, when valid, delimit the span of a worker func literal
+	// (shardsafe Fanout workers): locals declared OUTSIDE the span are
+	// captured enclosing-frame state — one variable shared by every shard
+	// worker — not frame-local.
+	litLo, litHi token.Pos
+}
+
+// restrictToLiteral marks the worker-literal span and re-derives local
+// bindings under the capture boundary, so a variable bound inside the
+// literal from captured state (a ranged element, an alias) inherits the
+// captured classification. rebind keeps the worse value, so this only
+// demotes.
+func (env *provEnv) restrictToLiteral(lit *ast.FuncLit) {
+	env.litLo, env.litHi = lit.Pos(), lit.End()
+	for sweep := 0; sweep < 2; sweep++ {
+		env.bindLocals(env.fi.Decl.Body)
+	}
+}
+
+// capturedLocal reports whether obj is declared outside the worker-literal
+// span (meaningful only after restrictToLiteral).
+func (env *provEnv) capturedLocal(obj types.Object) bool {
+	if !env.litLo.IsValid() {
+		return false
+	}
+	return obj.Pos() < env.litLo || obj.Pos() >= env.litHi
 }
 
 // buildProvEnv constructs the environment with the given overrides applied
@@ -226,7 +258,7 @@ func provRank(p prov) int {
 		return 0
 	case pOwned:
 		return 1
-	case pRecv, pParam:
+	case pCaptured, pRecv, pParam:
 		return 2
 	case pUnknown:
 		return 3
@@ -262,6 +294,9 @@ func (env *provEnv) provOf(e ast.Expr) provVal {
 			return provVal{kind: pUnknown}
 		}
 		if val, ok := env.vals[obj]; ok {
+			if val.kind == pLocal && env.capturedLocal(obj) {
+				return provVal{kind: pCaptured}
+			}
 			return val
 		}
 		if !env.isLocalObj(obj) {
@@ -269,6 +304,9 @@ func (env *provEnv) provOf(e ast.Expr) provVal {
 				return provVal{kind: pGlobal}
 			}
 			return localVal() // consts, types, funcs
+		}
+		if env.capturedLocal(obj) {
+			return provVal{kind: pCaptured}
 		}
 		return localVal()
 	case *ast.SelectorExpr:
@@ -343,6 +381,9 @@ func (env *provEnv) writeProv(w write) provVal {
 				obj = env.mod.Info.Defs[id]
 			}
 			if obj != nil && env.isLocalObj(obj) {
+				if env.capturedLocal(obj) {
+					return provVal{kind: pCaptured}
+				}
 				return localVal()
 			}
 			return provVal{kind: pGlobal}
@@ -463,18 +504,21 @@ type effects struct {
 	mod   *Module
 	graph *Graph
 	memo  map[*FuncInfo][]effect
-	stack map[*FuncInfo]bool
+	// stackPos maps each in-progress frame to its depth on the computation
+	// stack, so a recursion cut can say how far up the cycle reaches.
+	stackPos map[*FuncInfo]int
+	depth    int
 	// calls maps each call site (Lparen) to its expression, per function.
 	calls map[*FuncInfo]map[token.Pos]*ast.CallExpr
 }
 
 func newEffects(mod *Module, graph *Graph) *effects {
 	return &effects{
-		mod:   mod,
-		graph: graph,
-		memo:  map[*FuncInfo][]effect{},
-		stack: map[*FuncInfo]bool{},
-		calls: map[*FuncInfo]map[token.Pos]*ast.CallExpr{},
+		mod:      mod,
+		graph:    graph,
+		memo:     map[*FuncInfo][]effect{},
+		stackPos: map[*FuncInfo]int{},
+		calls:    map[*FuncInfo]map[token.Pos]*ast.CallExpr{},
 	}
 }
 
@@ -494,18 +538,38 @@ func (ef *effects) callSites(fi *FuncInfo) map[token.Pos]*ast.CallExpr {
 	return m
 }
 
-// of returns fi's transitive effect summary. Recursion is cut at the
-// in-progress frame (a cycle's fixed point adds no effect beyond the union
-// of its members' local effects, which one unrolling collects).
+// of returns fi's transitive effect summary.
 func (ef *effects) of(fi *FuncInfo) []effect {
+	out, _ := ef.summarize(fi)
+	return out
+}
+
+// noCut is the "no recursion cut happened" sentinel depth.
+const noCut = int(^uint(0) >> 1)
+
+// summarize computes fi's transitive summary and the lowest stack depth any
+// recursion cut inside it reached (noCut if none). Recursion is cut at the
+// in-progress frame: a cycle's fixed point adds no effect beyond the union
+// of its members' local effects, which one unrolling collects — but only
+// the cycle's ENTRY frame sees the whole unrolling. Frames reached mid-cycle
+// have partial summaries (missing the effects of everything above the cut),
+// so only a frame no cut reaches from below is memoized; interior members
+// are recomputed from a clean stack when a later caller needs them.
+func (ef *effects) summarize(fi *FuncInfo) ([]effect, int) {
 	if cached, ok := ef.memo[fi]; ok {
-		return cached
+		return cached, noCut
 	}
-	if ef.stack[fi] {
-		return nil
+	if pos, ok := ef.stackPos[fi]; ok {
+		return nil, pos
 	}
-	ef.stack[fi] = true
-	defer delete(ef.stack, fi)
+	myDepth := ef.depth
+	ef.stackPos[fi] = myDepth
+	ef.depth++
+	defer func() {
+		delete(ef.stackPos, fi)
+		ef.depth--
+	}()
+	low := noCut
 
 	env := buildProvEnv(ef.mod, fi, nil)
 	seen := map[effectKey]bool{}
@@ -579,12 +643,16 @@ func (ef *effects) of(fi *FuncInfo) []effect {
 
 	// Unanalyzable dynamic calls.
 	for _, pos := range ef.graph.Unresolved[fi] {
-		add(effect{kind: effDynamic, pos: pos, desc: "calls through a function value no module function matches", originRel: fi.Pkg.Rel})
+		add(effect{kind: effDynamic, pos: pos, desc: "calls a dynamic callee (function value or interface) no module function matches", originRel: fi.Pkg.Rel})
 	}
 
 	// Fold callee summaries through each call site.
 	for _, edge := range ef.graph.Edges[fi] {
-		for _, ce := range ef.of(edge.To) {
+		ces, cl := ef.summarize(edge.To)
+		if cl < low {
+			low = cl
+		}
+		for _, ce := range ces {
 			switch ce.kind {
 			case effIO, effBanned, effDynamic:
 				add(ce)
@@ -597,8 +665,14 @@ func (ef *effects) of(fi *FuncInfo) []effect {
 		}
 	}
 
-	ef.memo[fi] = out
-	return out
+	if low >= myDepth {
+		// No cycle reaches above this frame: fi is outside every cycle, or
+		// is the entry of each cycle that cut back to it, so the unrolling
+		// above collected the members' union and the summary is complete.
+		ef.memo[fi] = out
+		low = noCut
+	}
+	return out, low
 }
 
 // mapCalleeWrite translates a callee's escaping write into the caller's
@@ -701,7 +775,8 @@ func extDisplayName(fn *types.Func) string {
 		return fn.Name()
 	}
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		return pkg.Name() + "." + fn.Name()
+		recv := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return p.Name() })
+		return "(" + recv + ")." + fn.Name()
 	}
 	return pkg.Name() + "." + fn.Name()
 }

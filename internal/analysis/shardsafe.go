@@ -16,9 +16,11 @@ package analysis
 //     partition (p.machines[sh.lo:sh.hi]);
 //   - ranging over an owned collection yields owned elements.
 //
-// Writes whose root is neither function-local nor owned are flagged, as are
+// Writes whose root is neither worker-local nor owned are flagged —
+// including writes to locals of the enclosing function captured by the
+// worker closure, which are one variable shared by every worker — as are
 // I/O calls, stdlib calls that may write through shared pointer arguments,
-// and calls through function values no module function matches. Module
+// and dynamic calls no module function matches. Module
 // calls are followed transitively — including interface dispatch and
 // function-value candidates — re-deriving ownership for the callee from the
 // provenance of the arguments at each call site, so a helper that writes
@@ -97,11 +99,14 @@ func runShardSafe(p *ModulePass) {
 	}
 }
 
-// shardVisitKey memoizes transitive callee checks per ownership mask: bit 0
-// is the receiver, bit 1+i parameter i.
+// shardVisitKey memoizes transitive callee checks per ownership mask (bit 0
+// is the receiver, bit 1+i parameter i) and per entry site, so a violating
+// callee reached from a second Fanout/lane entry is re-reported there — an
+// ignore directive at one entry must not cover the other.
 type shardVisitKey struct {
-	fi   *FuncInfo
-	mask uint64
+	fi    *FuncInfo
+	mask  uint64
+	entry token.Pos
 }
 
 type shardReportKey struct {
@@ -180,6 +185,10 @@ func (sc *shardChecker) checkFanoutSite(fi *FuncInfo, pos token.Pos) {
 		}
 	}
 	env := buildProvEnv(sc.p.Mod, fi, overrides)
+	// Locals of the enclosing function captured by the worker are ONE
+	// variable shared by every shard worker: demote them from frame-local
+	// to captured so their writes are flagged.
+	env.restrictToLiteral(lit)
 	sc.checkRegion(fi, env, lit.Body, entry)
 }
 
@@ -221,7 +230,7 @@ func (sc *shardChecker) checkRegion(fi *FuncInfo, env *provEnv, region ast.Node,
 		}
 		if unres[pos] {
 			sc.report(pos, entry,
-				"Fanout worker calls through a function value no module function matches; its writes cannot be verified")
+				"Fanout worker calls a dynamic callee (function value or interface) no module function matches; its writes cannot be verified")
 		}
 		return true
 	})
@@ -293,7 +302,7 @@ func (sc *shardChecker) callMask(env *provEnv, call *ast.CallExpr, edge Edge) ui
 // checkCallee verifies a transitively-reached function under the given
 // ownership mask.
 func (sc *shardChecker) checkCallee(fi *FuncInfo, mask uint64, entry token.Pos) {
-	key := shardVisitKey{fi: fi, mask: mask}
+	key := shardVisitKey{fi: fi, mask: mask, entry: entry}
 	if sc.visiting[key] {
 		return
 	}

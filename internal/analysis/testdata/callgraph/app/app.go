@@ -52,3 +52,11 @@ func LitLocal() int {
 // CallStranger calls through a function value whose signature no module
 // function is ever taken at: the site must be recorded as unresolved.
 func CallStranger(tbl map[string]func() float64) float64 { return tbl["x"]() }
+
+// Alien is satisfied by no module type.
+type Alien interface{ Mutate() }
+
+// CallAlien dispatches through an interface with zero module
+// implementations: the site must be recorded as unresolved, not modeled as
+// effect-free.
+func CallAlien(a Alien) { a.Mutate() }

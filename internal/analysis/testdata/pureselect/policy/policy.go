@@ -34,3 +34,36 @@ func (s *Sticky) Select(cands []int) int {
 	}
 	return s.last
 }
+
+var traced int
+
+// Looper reaches the trace↔chase cycle at trace, the member that writes
+// package state.
+type Looper struct{}
+
+// Select enters the cycle at the impure member.
+func (Looper) Select(cands []int) int { return trace(len(cands)) }
+
+// Chaser reaches the same cycle at chase. Its Select is analyzed after
+// Looper's, so a memoized-while-incomplete summary for chase (computed
+// while trace was still in progress on the stack) would hide the write
+// from this target.
+type Chaser struct{}
+
+// Select enters the cycle at the pure member.
+func (Chaser) Select(cands []int) int { return chase(len(cands)) }
+
+func trace(n int) int {
+	traced++
+	if n <= 0 {
+		return 0
+	}
+	return chase(n - 1)
+}
+
+func chase(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return trace(n - 1)
+}

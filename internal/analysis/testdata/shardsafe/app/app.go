@@ -87,3 +87,27 @@ func (p *Pool) LaneBad(l *sim.Lane) {
 func tick() {
 	hits++
 }
+
+// CapturedScan races through a captured local: every worker increments the
+// same enclosing-frame accumulator. The worker's own local and the
+// owned-index write into the captured table stay clean.
+func (p *Pool) CapturedScan() int {
+	total := 0
+	sums := make([]int, len(p.shards))
+	p.eng.Fanout(len(p.shards), func(k int) {
+		local := 0
+		local++
+		total += local
+		sums[k] = local
+	})
+	return total
+}
+
+// BadScanTwin repeats BadScan's transitive race from a second Fanout entry:
+// the bump violation must be attributed here too, so an ignore directive
+// covering BadScan's entry cannot silently cover this one.
+func (p *Pool) BadScanTwin() {
+	p.eng.Fanout(len(p.shards), func(k int) {
+		p.bump()
+	})
+}

@@ -135,10 +135,26 @@ func TestShardSafeWholeProgram(t *testing.T) {
 		"pass the Fanout worker as a func literal", // opaque worker in Queue
 		"lane callback writes package-level hits",  // direct global write in LaneBad
 		"lanes run concurrently",                   // transitive write via tick
+		// CapturedScan: a captured enclosing-frame local is one variable
+		// shared by every worker, not frame-local.
+		"Fanout worker writes total (captured enclosing-function state",
 	} {
 		if !strings.Contains(got, wantFrag) {
 			t.Errorf("missing expected finding %q in:\n%s", wantFrag, got)
 		}
+	}
+	// CapturedScan's clean half: the worker's own local and the owned-index
+	// write into the captured table must stay unflagged.
+	for _, cleanFrag := range []string{"writes local", "sums"} {
+		if strings.Contains(got, cleanFrag) {
+			t.Errorf("finding on clean CapturedScan construct %q:\n%s", cleanFrag, got)
+		}
+	}
+	// bump's receiver write is reached from BadScan's entry AND
+	// BadScanTwin's: both attributions must survive, or an ignore at one
+	// entry would silently cover the other.
+	if n := strings.Count(got, "app.go:59: shardsafe: Fanout worker writes p.total"); n != 2 {
+		t.Errorf("bump violation attributed to %d entries, want 2 (BadScan and BadScanTwin):\n%s", n, got)
 	}
 }
 
@@ -162,5 +178,15 @@ func TestPureSelectWholeProgram(t *testing.T) {
 	}
 	if strings.Contains(got, "Random") {
 		t.Errorf("Random.Select's rng draw should be exempt:\n%s", got)
+	}
+	// The trace↔chase cycle: Looper.Select enters at the impure member,
+	// Chaser.Select at the pure one, and Looper is analyzed first. Both
+	// must flag the write — a summary for chase memoized mid-cycle (while
+	// trace was still on the stack) would hide it from Chaser.
+	if !strings.Contains(got, "Looper") {
+		t.Errorf("Looper.Select's transitive package write not flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "Chaser") {
+		t.Errorf("Chaser.Select must see the full cycle summary (stale partial memo?):\n%s", got)
 	}
 }
