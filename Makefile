@@ -7,7 +7,7 @@ GO ?= go
 # label its numbers land under. A perf PR records its baseline first:
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=before   # on the parent commit
 #   make bench BENCH_OUT=BENCH_2.json BENCH_LABEL=after    # on the PR head
-BENCH_OUT   ?= BENCH_8.json
+BENCH_OUT   ?= BENCH_10.json
 BENCH_LABEL ?= after
 
 # The regression suite: the hot-path micro-benchmarks plus the two macro
@@ -84,6 +84,8 @@ bench:
 			| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)-bigcell-cpu$$n \
 			|| exit 1; \
 	done
+	$(GO) test -run '^$$' -bench '^BenchmarkMillionJob$$' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -label $(BENCH_LABEL)-millionjob
 
 # The obs pair-gate ceiling: how far an X/instrumented leg may run over its
 # X/disabled twin. benchjson's own default is 15%, which is the envelope the
@@ -100,6 +102,15 @@ bench:
 # per-event cost.
 OBS_TOLERANCE ?= 0.60
 
+# The streaming-residency gate leg re-runs BenchmarkMillionJob's 100k cell
+# (single -benchtime 1x shots, best of 3) against the ledger's
+# after-millionjob label. Its real fence is peak-heap-B — the emit-and-drop
+# engine's live-heap high-water mark, which forced-GC sampling keeps stable
+# to a few percent, so a slide back toward O(total jobs) residency (10×+)
+# trips it immediately. The wider tolerance exists for the leg's ns/op,
+# which single-shot runs on a busy one-CPU host can wobble.
+STREAM_TOLERANCE ?= 0.25
+
 # Benchmark regression fence: re-measure the end-to-end macro benchmark and
 # the observability overhead pairs, and fail if (a) ns/op or allocs/op
 # regressed more than 10% against the checked-in ledger's "after" label, or
@@ -113,13 +124,21 @@ OBS_TOLERANCE ?= 0.60
 benchgate:
 	$(GO) test -run '^$$' -bench '^(BenchmarkEndToEndMCCK|BenchmarkObsOverhead|BenchmarkObsOverheadParallel)$$' -benchmem -count 5 . \
 		| $(GO) run ./cmd/benchjson -gate $(BENCH_OUT) -gate-label after -obs-tolerance $(OBS_TOLERANCE)
+	$(GO) test -run '^$$' -bench '^BenchmarkMillionJob$$/^jobs=100000$$' -benchmem -benchtime 1x -count 3 . \
+		| $(GO) run ./cmd/benchjson -gate $(BENCH_OUT) -gate-label after-millionjob -tolerance $(STREAM_TOLERANCE)
 
 # Fault-injection invariant swarm (see internal/faults): CHAOS_SEEDS seeds ×
 # {MC, MCC, MCCK} × {light, heavy} under the invariant checker and the race
 # detector. A failure prints a reproducible (seed, profile, policy) triple.
+# STREAM_CHAOS_SEEDS sizes the streaming leg: every one of its faulted
+# diurnal cells runs twice (checked retained, then emit-and-drop streaming)
+# and the online aggregates must match bit for bit.
+STREAM_CHAOS_SEEDS ?= 10
+
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) CHAOS_DIFF_SEEDS=$(CHAOS_DIFF_SEEDS) \
+		STREAM_CHAOS_SEEDS=$(STREAM_CHAOS_SEEDS) \
 		$(GO) test -race -count 1 \
-		-run '^TestInvariantSwarm$$|^TestChaosDiffSwarm$$' ./internal/experiments
+		-run '^TestInvariantSwarm$$|^TestChaosDiffSwarm$$|^TestStreamChaosSwarm$$' ./internal/experiments
 
 ci: vet build lint race chaos benchgate

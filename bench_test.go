@@ -541,3 +541,44 @@ func BenchmarkAutoclusterSignature(b *testing.B) {
 		buf = signer.AppendSignature(buf[:0], ads[i%len(ads)], roots)
 	}
 }
+
+// BenchmarkMillionJob is the streaming engine's headline artifact: 1,000
+// heterogeneous nodes serving a full simulated diurnal day of arrivals —
+// nonhomogeneous Poisson traffic with bursts, a thousand-tenant Zipf
+// population — in emit-and-drop record mode. No job slice, no submit-event
+// heap, no record retention: arrivals come off one self-rearming generator
+// timer and terminal records fold into online aggregates, so resident
+// memory is O(active jobs). The peak-heap-B metric (live heap after forced
+// GC, sampled 16× across the run) is the ledger evidence: it must stay
+// roughly flat — within 2× — as the day scales 100k → 1M jobs, where the
+// retained pipeline would grow it 10×.
+func BenchmarkMillionJob(b *testing.B) {
+	nodes := 1000
+	devices := workload.HeterogeneousPool(23, nodes, nil)
+	run := func(b *testing.B, n int) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := experiments.Run(experiments.RunConfig{
+				Policy: experiments.PolicyMCC,
+				Nodes:  nodes,
+				Source: workload.NewDiurnal(workload.DiurnalConfig{
+					N:          n,
+					Seed:       23,
+					BurstCount: 6,
+					Tenants:    1000,
+				}),
+				NodeDevices:   devices,
+				Seed:          23,
+				Stream:        true,
+				MemProbeEvery: n / 16,
+			})
+			b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
+			b.ReportMetric(float64(res.Stream.PeakHeapBytes), "peak-heap-B")
+			b.ReportMetric(float64(res.Stream.PeakPending), "peak-pending")
+			b.ReportMetric(res.Stream.Stretch, "stretch")
+			b.ReportMetric(res.Stream.Fairness*100, "fairness-%")
+		}
+	}
+	b.Run("jobs=100000", func(b *testing.B) { run(b, 100_000) })
+	b.Run("jobs=1000000", func(b *testing.B) { run(b, 1_000_000) })
+}

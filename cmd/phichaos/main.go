@@ -6,7 +6,7 @@
 //
 //	phichaos [-seeds N] [-seed0 N] [-policies MC,MCC,MCCK]
 //	         [-profiles light,heavy] [-jobs N] [-nodes N] [-retries N]
-//	         [-diff] [-v]
+//	         [-diff] [-stream] [-v]
 //
 // With -diff every cell additionally replays on the reference paths —
 // autoclusters, match cache, round memoization and the sparse knapsack
@@ -14,6 +14,12 @@
 // job-record streams is a failure: fault injection is the adversarial
 // workout for cache invalidation, so the bit-for-bit equivalence claim is
 // checked exactly where it is most likely to break.
+//
+// With -stream the swarm instead runs faulted diurnal cells twice each —
+// retained under the invariant checker, then in emit-and-drop streaming
+// mode — and any divergence between the two runs' online aggregates
+// (summary, per-tenant fairness, stretch, footprint marks) is a failure:
+// the adversarial version of the streaming-equivalence guarantee.
 //
 // Each failure prints a `FAIL seed=N profile=P policy=Q` triple followed by
 // the violations; replay one cell with the same workload flags plus
@@ -41,6 +47,7 @@ func main() {
 		nodes    = flag.Int("nodes", 3, "cluster nodes per run")
 		retries  = flag.Int("retries", 4, "crash retry budget per job")
 		diff     = flag.Bool("diff", false, "replay every cell on the reference paths and with the parallel core forced off, diffing outcomes bit-for-bit")
+		stream   = flag.Bool("stream", false, "run faulted diurnal cells in streaming record mode and diff their aggregates against checked retained runs")
 		verbose  = flag.Bool("v", false, "print progress lines")
 	)
 	flag.Parse()
@@ -53,6 +60,36 @@ func main() {
 			os.Exit(2)
 		}
 		profs = append(profs, p)
+	}
+
+	if *stream {
+		scfg := experiments.StreamChaosConfig{
+			Seeds:    *seeds,
+			Seed0:    *seed0,
+			Policies: strings.Split(*policies, ","),
+			Profiles: profs,
+			Nodes:    *nodes,
+			Retries:  *retries,
+		}
+		if *verbose {
+			scfg.Logf = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		failures := experiments.StreamChaosSwarm(scfg)
+		runs := *seeds * len(scfg.Policies) * len(profs)
+		if len(failures) == 0 {
+			fmt.Printf("phichaos: %d streaming cells clean (%d seeds x %d policies x %d profiles, diurnal cells on %d nodes)\n",
+				runs, *seeds, len(scfg.Policies), len(profs), *nodes)
+			return
+		}
+		for _, f := range failures {
+			fmt.Println(f)
+			fmt.Printf("  replay: phichaos -stream -seeds 1 -seed0 %d -profiles %s -policies %s -nodes %d -retries %d\n",
+				f.Seed, f.Profile, f.Policy, *nodes, *retries)
+		}
+		fmt.Printf("phichaos: %d/%d streaming cells FAILED\n", len(failures), runs)
+		os.Exit(1)
 	}
 
 	cfg := experiments.ChaosConfig{

@@ -29,6 +29,12 @@ type Config struct {
 	DevicesPerNode int
 	// Device is the coprocessor model (default: the 5110P).
 	Device phi.Config
+	// NodeDevices, when non-empty, makes the pool heterogeneous: node n's
+	// devices use NodeDevices[n % len(NodeDevices)] instead of Device —
+	// mixed coprocessor generations with per-node memory/thread asymmetry.
+	// The modulo lets a short class list (e.g. workload.HeterogeneousPool
+	// output for a sampled prefix) tile a larger pool deterministically.
+	NodeDevices []phi.Config
 	// UseCosmic installs a COSMIC manager on every device. Without it the
 	// devices run raw MPSS semantics (the MC baseline's node level — and
 	// the oversubscription ablation's, when paired with a sharing policy).
@@ -172,10 +178,14 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 			Name: fmt.Sprintf("node%d", n),
 			Link: phi.NewLink(lane, cfg.LinkBandwidthMBps),
 		}
+		devCfg := cfg.Device
+		if len(cfg.NodeDevices) > 0 {
+			devCfg = cfg.NodeDevices[n%len(cfg.NodeDevices)]
+		}
 		for d := 0; d < cfg.DevicesPerNode; d++ {
 			slot := fmt.Sprintf("slot%d@%s", d+1, node.Name)
-			util := metrics.NewCoreUtilization(cfg.Device.Cores)
-			dev := phi.NewDevice(lane, slot, cfg.Device, root.Fork(slot), util)
+			util := metrics.NewCoreUtilization(devCfg.Cores)
+			dev := phi.NewDevice(lane, slot, devCfg, root.Fork(slot), util)
 			unit := &DeviceUnit{
 				SlotName: slot,
 				NodeName: node.Name,

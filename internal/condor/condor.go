@@ -453,6 +453,23 @@ type Pool struct {
 	// fair-share ordering.
 	usage map[string]units.Tick
 
+	// recordSink, when non-nil, puts the pool in streaming record mode
+	// (SetRecordSink): terminal jobs are rendered to a metrics.JobRecord,
+	// handed to the sink, and dropped — p.jobs is never appended to, so
+	// resident state is O(pending + in-flight) instead of O(total
+	// submitted). Records() is unavailable in this mode.
+	recordSink func(metrics.JobRecord)
+	// Lifecycle counters. They exist in both modes (Status and the O(1)
+	// Done read them), but in streaming mode they are the only job-level
+	// bookkeeping that survives a terminal transition.
+	submitted      int
+	completedCount int
+	failedCount    int
+	// High-water marks of the two active-job populations — the resident
+	// footprint a streaming run is bounded by.
+	peakPending  int
+	peakInFlight int
+
 	// OnTerminal, if set, is invoked whenever a job reaches Completed or
 	// Failed — the hook external tooling (e.g. the resource estimator
 	// extension) uses to observe outcomes as they happen.
@@ -758,7 +775,10 @@ func (p *Pool) SubmitAs(user string, jobs []*job.Job, priority int) {
 		q.Ad.SetInt(AttrRequestPhiDevices, 1)
 		q.Ad.SetInt(AttrJobPrio, int64(priority))
 		p.policy.PrepareJobAd(q)
-		p.jobs = append(p.jobs, q)
+		p.submitted++
+		if p.recordSink == nil {
+			p.jobs = append(p.jobs, q)
+		}
 		p.insertPending(q)
 		p.record(EventSubmit, q, "")
 		if p.obs != nil {
@@ -783,6 +803,9 @@ func (p *Pool) insertPending(q *QueuedJob) {
 	p.pending = append(p.pending, nil)
 	copy(p.pending[i+1:], p.pending[i:])
 	p.pending[i] = q
+	if len(p.pending) > p.peakPending {
+		p.peakPending = len(p.pending)
+	}
 }
 
 // Qedit rewrites a pending job's Requirements, the condor_qedit integration
@@ -1025,9 +1048,7 @@ func (p *Pool) finishCycle(matched int) {
 				p.obs.Emit(p.eng.Now(), obs.LayerCondor, "stall_abort",
 					obs.F("job", q.Job.ID))
 			}
-			if p.OnTerminal != nil {
-				p.OnTerminal(q)
-			}
+			p.retire(q)
 		}
 		p.pending = nil
 		return
@@ -1110,6 +1131,9 @@ func (p *Pool) claim(q *QueuedJob, m *Machine) {
 	}
 	m.updateAd()
 	p.inFlight++
+	if p.inFlight > p.peakInFlight {
+		p.peakInFlight = p.inFlight
+	}
 	p.record(EventMatch, q, m.Name)
 	p.obsMatch.Inc()
 	if p.obs != nil {
@@ -1190,9 +1214,7 @@ func (p *Pool) jobDone(q *QueuedJob, m *Machine, r runner.Result) {
 	}
 	q.EndTime = p.eng.Now()
 	p.noteEnd(q.EndTime)
-	if p.OnTerminal != nil {
-		p.OnTerminal(q)
-	}
+	p.retire(q)
 	if p.cfg.ClaimReuse {
 		p.reuseClaim(m)
 	}
@@ -1223,33 +1245,94 @@ func (p *Pool) noteEnd(t units.Tick) {
 	}
 }
 
-// Done reports whether every submitted job reached a terminal state.
-func (p *Pool) Done() bool {
-	for _, q := range p.jobs {
-		if q.State != Completed && q.State != Failed {
-			return false
-		}
+// retire is the single funnel every terminal transition (completion, final
+// failure, stall abort) passes through: it maintains the lifecycle
+// counters, fires the OnTerminal hook, and in streaming mode renders the
+// job to its record, hands it to the sink, and lets the job go — the only
+// remaining reference is whatever the sink chose to keep.
+func (p *Pool) retire(q *QueuedJob) {
+	if q.State == Completed {
+		p.completedCount++
+	} else {
+		p.failedCount++
 	}
-	return true
+	if p.OnTerminal != nil {
+		p.OnTerminal(q)
+	}
+	if p.recordSink != nil {
+		p.recordSink(p.recordOf(q))
+	}
 }
 
-// Records converts the job queue into metrics records.
+// SetRecordSink switches the pool to streaming record mode: every terminal
+// job is emitted to sink as a metrics.JobRecord and dropped instead of
+// retained in the queue, making resident state O(active jobs). Must be
+// called before the first Submit (the already-retained prefix would
+// otherwise make Records and the sink disagree); Records panics afterward.
+// A nil sink is rejected rather than interpreted as "switch back".
+func (p *Pool) SetRecordSink(sink func(metrics.JobRecord)) {
+	if sink == nil {
+		panic("condor: SetRecordSink(nil)")
+	}
+	if p.submitted > 0 {
+		panic("condor: SetRecordSink after Submit")
+	}
+	p.recordSink = sink
+}
+
+// RetainsJobs reports whether the pool keeps terminal jobs resident (the
+// classic mode). Streaming pools return false; whole-queue consumers like
+// Records and the fault-invariant checker must not be pointed at them.
+func (p *Pool) RetainsJobs() bool { return p.recordSink == nil }
+
+// PeakPending is the high-water mark of the idle queue.
+func (p *Pool) PeakPending() int { return p.peakPending }
+
+// PeakInFlight is the high-water mark of dispatched, not-yet-terminal jobs.
+func (p *Pool) PeakInFlight() int { return p.peakInFlight }
+
+// Submitted is the total number of jobs ever submitted.
+func (p *Pool) Submitted() int { return p.submitted }
+
+// Terminal is the number of jobs that reached Completed or Failed.
+func (p *Pool) Terminal() int { return p.completedCount + p.failedCount }
+
+// Done reports whether every submitted job reached a terminal state — a
+// counter compare, not a queue scan, so the run loop can poll it per cycle
+// without an O(total jobs) walk.
+func (p *Pool) Done() bool {
+	return p.completedCount+p.failedCount == p.submitted
+}
+
+// recordOf renders one terminal (or any) queued job to its metrics record.
+// Records and the streaming sink share it, so the two modes cannot drift.
+func (p *Pool) recordOf(q *QueuedJob) metrics.JobRecord {
+	rec := metrics.JobRecord{
+		ID:         q.Job.ID,
+		Workload:   q.Job.Workload,
+		User:       q.User,
+		SubmitTime: q.SubmitTime,
+		StartTime:  q.StartTime,
+		EndTime:    q.EndTime,
+		Completed:  q.State == Completed,
+		Crashes:    q.Crashes,
+		SeqWork:    q.Job.SequentialTime(),
+	}
+	if q.Machine != nil {
+		rec.Machine = q.Machine.Name
+	}
+	return rec
+}
+
+// Records converts the job queue into metrics records. Unavailable in
+// streaming mode, where the records went to the sink as they happened.
 func (p *Pool) Records() []metrics.JobRecord {
+	if p.recordSink != nil {
+		panic("condor: Records on a streaming pool (records were emitted to the sink)")
+	}
 	recs := make([]metrics.JobRecord, 0, len(p.jobs))
 	for _, q := range p.jobs {
-		rec := metrics.JobRecord{
-			ID:         q.Job.ID,
-			Workload:   q.Job.Workload,
-			SubmitTime: q.SubmitTime,
-			StartTime:  q.StartTime,
-			EndTime:    q.EndTime,
-			Completed:  q.State == Completed,
-			Crashes:    q.Crashes,
-		}
-		if q.Machine != nil {
-			rec.Machine = q.Machine.Name
-		}
-		recs = append(recs, rec)
+		recs = append(recs, p.recordOf(q))
 	}
 	return recs
 }
@@ -1266,21 +1349,12 @@ func (p *Pool) Status() string {
 		fmt.Fprintf(&sb, "%-16s %6d %6d %10v %10v\n",
 			m.Name, len(m.Resident), m.HostSlots, m.FreeMem, m.ResidentThreads)
 	}
-	idle, running, completed, failed := 0, 0, 0, 0
-	for _, q := range p.jobs {
-		switch q.State {
-		case Idle:
-			idle++
-		case Dispatched:
-			running++
-		case Completed:
-			completed++
-		case Failed:
-			failed++
-		}
-	}
+	// Queue totals come from the lifecycle counters, not a whole-queue
+	// scan: every Idle job is in pending and every Dispatched one is in
+	// flight, so the counters are exact in both record modes — and a
+	// million-job streaming pool has no queue to scan anyway.
 	fmt.Fprintf(&sb, "jobs: %d idle, %d running, %d completed, %d failed\n",
-		idle, running, completed, failed)
+		len(p.pending), p.inFlight, p.completedCount, p.failedCount)
 	return sb.String()
 }
 

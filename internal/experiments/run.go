@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"phishare/internal/cluster"
 	"phishare/internal/condor"
@@ -19,6 +20,7 @@ import (
 	"phishare/internal/scheduler"
 	"phishare/internal/sim"
 	"phishare/internal/units"
+	"phishare/internal/workload"
 )
 
 // Policy names accepted by RunConfig.
@@ -43,11 +45,20 @@ type RunConfig struct {
 	DevicesPerNode int
 	// Jobs is the workload, submitted at t=0.
 	Jobs []*job.Job
+	// Source, when non-nil, replaces Jobs: arrivals are pulled lazily and
+	// submitted (per-tenant, via SubmitAs) by a single self-rearming
+	// generator timer at their arrival times, so neither the job set nor
+	// its submit events are ever materialized in bulk. Exactly one of Jobs
+	// and Source must be set.
+	Source workload.Source
 	// Seed drives scheduler and device randomness (workload randomness is
 	// baked into Jobs by its generator).
 	Seed int64
 	// Condor tunes the pool mechanics; zero values take defaults.
 	Condor condor.Config
+	// NodeDevices makes the pool heterogeneous (see
+	// cluster.Config.NodeDevices); empty keeps the homogeneous default.
+	NodeDevices []phi.Config
 	// Core tunes the MCCK scheduler; ignored by other policies.
 	Core core.Config
 	// ForceCosmic overrides the per-policy COSMIC default: MC and Agnostic
@@ -65,9 +76,24 @@ type RunConfig struct {
 	// names are unique within a run, so one recorder can serve the whole
 	// cluster for CSV/JSON export).
 	Trace phi.TraceSink
+	// Stream switches the run to emit-and-drop record processing: terminal
+	// job records are folded into online aggregates (Result.Stream) the
+	// moment they happen and then released, so resident memory is O(active
+	// jobs) instead of O(total jobs). Retained mode computes the same
+	// aggregates post-hoc from the full record set — bit-identically, the
+	// equivalence the streaming tests enforce.
+	Stream bool
+	// MemProbeEvery, when positive, samples the live heap
+	// (runtime.ReadMemStats after a forced GC) every that-many terminal
+	// records plus once at run end, recording the high-water mark in
+	// Result.Stream.PeakHeapBytes. Purely observational.
+	MemProbeEvery int
 	// RecordSink, if non-nil, receives the full per-job record stream of
-	// the run (pool.Records()). Determinism harnesses use it to compare
-	// entire outcome streams, not just aggregate metrics.
+	// the run (pool.Records(); in streaming mode, the emitted records in
+	// completion order). Determinism harnesses use it to compare entire
+	// outcome streams, not just aggregate metrics. Note that pointing it at
+	// a streaming run reintroduces the O(total jobs) retention Stream
+	// exists to avoid — small-cell equivalence tests only.
 	RecordSink *[]metrics.JobRecord
 	// Obs, if non-nil, attaches the observability layer to every component
 	// (pool, policy, devices, COSMIC managers) and runs the time-series
@@ -140,6 +166,11 @@ type Result struct {
 	MaxConcurrency int
 	Summary        metrics.Summary
 	PoolStats      condor.Stats
+	// Stream holds the scale-era online aggregates (per-tenant fairness,
+	// stretch, footprint high-water marks). Populated in both record modes
+	// — retained runs derive it from the same records post-hoc — so a
+	// streaming run and its retained twin are directly comparable.
+	Stream metrics.StreamStats
 	// Parallel reports whether the run executed on the parallel core;
 	// Epochs is its window count (0 for serial). Regression tests use the
 	// pair to assert that attaching sinks no longer disables parallelism.
@@ -152,8 +183,11 @@ func Run(cfg RunConfig) Result {
 	if cfg.Nodes <= 0 {
 		panic("experiments: Nodes must be positive")
 	}
-	if len(cfg.Jobs) == 0 {
+	if len(cfg.Jobs) == 0 && cfg.Source == nil {
 		panic("experiments: empty job set")
+	}
+	if len(cfg.Jobs) > 0 && cfg.Source != nil {
+		panic("experiments: both Jobs and Source set")
 	}
 	eng := sim.New()
 	eng.MaxSteps = cfg.MaxSteps
@@ -166,6 +200,7 @@ func Run(cfg RunConfig) Result {
 	clu := cluster.New(eng, cluster.Config{
 		Nodes:             cfg.Nodes,
 		DevicesPerNode:    cfg.DevicesPerNode,
+		NodeDevices:       cfg.NodeDevices,
 		UseCosmic:         cfg.usesCosmic(),
 		CosmicBypass:      cfg.CosmicBypass,
 		LinkBandwidthMBps: cfg.LinkBandwidthMBps,
@@ -179,6 +214,25 @@ func Run(cfg RunConfig) Result {
 	pol := cfg.buildPolicy()
 	pool := condor.NewPool(eng, clu, pol, cfg.Condor)
 	pool.Log = cfg.EventLog
+	// The online aggregate. In streaming mode the pool's record sink feeds
+	// it as jobs retire; in retained mode the post-run record walk does.
+	// Either way the same Add calls run over the same records, which is
+	// what makes the two modes bit-identical.
+	var agg metrics.Aggregate
+	if cfg.Stream {
+		pool.SetRecordSink(func(r metrics.JobRecord) {
+			agg.Add(r)
+			if cfg.RecordSink != nil {
+				*cfg.RecordSink = append(*cfg.RecordSink, r)
+			}
+		})
+	}
+	var probe *memProbe
+	if cfg.MemProbeEvery > 0 {
+		probe = &memProbe{every: cfg.MemProbeEvery}
+		// Installed before Chaos.Wire, which chains any existing hook.
+		pool.OnTerminal = func(*condor.QueuedJob) { probe.note() }
+	}
 	if cfg.Obs != nil {
 		wireObservability(cfg.Obs, eng, pool, pol, clu)
 	}
@@ -186,29 +240,103 @@ func Run(cfg RunConfig) Result {
 		cfg.Chaos.Obs = cfg.Obs
 		cfg.Chaos.Wire(eng, clu, pool)
 	}
-	pool.Submit(cfg.Jobs)
+	jobCount := len(cfg.Jobs)
+	if cfg.Source != nil {
+		jobCount = cfg.Source.Len()
+		startPump(eng, pool, cfg.Source)
+	} else {
+		pool.Submit(cfg.Jobs)
+	}
 	eng.Run()
 	if !pool.Done() {
 		panic("experiments: engine drained with jobs outstanding")
 	}
 
 	makespan := pool.Makespan()
-	if cfg.RecordSink != nil {
-		*cfg.RecordSink = pool.Records()
+	if !cfg.Stream {
+		records := pool.Records()
+		if cfg.RecordSink != nil {
+			*cfg.RecordSink = records
+		}
+		for _, r := range records {
+			agg.Add(r)
+		}
 	}
-	summary := metrics.Summarize(pool.Records(), clu.Utils(), makespan)
+	summary := agg.Summary(clu.Utils(), makespan)
 	summary.MaxConcurrency = pool.MaxConcurrency()
+	stream := agg.Stats(clu.Utils(), makespan)
+	stream.Summary = summary
+	stream.PeakPending = pool.PeakPending()
+	stream.PeakInFlight = pool.PeakInFlight()
+	if probe != nil {
+		probe.sample()
+		stream.PeakHeapBytes = probe.peak
+	}
 	return Result{
 		Policy:         cfg.Policy,
 		Nodes:          cfg.Nodes,
-		JobCount:       len(cfg.Jobs),
+		JobCount:       jobCount,
 		Makespan:       makespan,
 		Utilization:    summary.AvgUtilization,
 		MaxConcurrency: summary.MaxConcurrency,
 		Summary:        summary,
 		PoolStats:      pool.Stats(),
+		Stream:         stream,
 		Parallel:       eng.Parallel(),
 		Epochs:         eng.Epochs(),
+	}
+}
+
+// startPump wires a Source into the pool through one self-rearming
+// generator event: at each firing it submits every arrival due now and
+// re-arms itself for the next arrival time. Exactly one generator event is
+// resident in the heap at any moment — versus one pre-scheduled submit
+// event per job, the O(total jobs) heap the streaming engine retires.
+func startPump(eng *sim.Engine, pool *condor.Pool, src workload.Source) {
+	next, ok := src.Next()
+	if !ok {
+		panic("experiments: empty source")
+	}
+	var buf [1]*job.Job
+	var pump func()
+	pump = func() {
+		now := eng.Now()
+		for ok && next.At <= now {
+			buf[0] = next.Job
+			pool.SubmitAs(next.Tenant, buf[:], 0)
+			next, ok = src.Next()
+		}
+		if ok {
+			eng.At(next.At, pump)
+		}
+	}
+	eng.At(next.At, pump)
+}
+
+// memProbe tracks the live-heap high-water mark. note is cheap (an integer
+// countdown) except every `every`-th call, when it forces a GC and reads
+// MemStats so the sample reflects live data rather than collector timing.
+// Observational only: nothing in the simulation reads it.
+type memProbe struct {
+	every int
+	n     int
+	peak  uint64
+}
+
+func (m *memProbe) note() {
+	m.n++
+	if m.n%m.every != 0 {
+		return
+	}
+	m.sample()
+}
+
+func (m *memProbe) sample() {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
 	}
 }
 

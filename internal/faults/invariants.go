@@ -45,7 +45,17 @@ type Checker struct {
 
 // NewChecker builds a checker over an assembled stack. Wire Check into
 // eng.AfterStep and NoteTerminal into the pool's OnTerminal chain.
+//
+// The checker's per-event sweeps (checkPool, Finish) reconcile against the
+// pool's retained job queue, so it cannot audit a streaming pool — whose
+// terminal jobs are gone by design. That combination is refused here, at
+// wiring time, rather than silently passing vacuous checks over an empty
+// queue. Streaming chaos runs instead diff their aggregates against a
+// checked retained twin (experiments.StreamChaosCell).
 func NewChecker(eng *sim.Engine, clu *cluster.Cluster, pool *condor.Pool) *Checker {
+	if !pool.RetainsJobs() {
+		panic("faults: invariant checker requires a job-retaining pool; streaming pools drop the queue it audits")
+	}
 	return &Checker{
 		eng: eng, clu: clu, pool: pool,
 		memGuarded:    strings.Contains(pool.Policy().MachineRequirements(), condor.AttrPhiFreeMemory),

@@ -76,3 +76,60 @@ func TestJSONPreservesSimulationBehaviour(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamWriterMatchesWriteJSON(t *testing.T) {
+	jobs := GenerateTableOneSet(25, rng.New(77).Fork("tableI"))
+
+	var batch bytes.Buffer
+	if err := WriteJSON(&batch, jobs); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	sw, err := NewStreamWriter(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := sw.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != len(jobs) {
+		t.Errorf("Count() = %d, want %d", sw.Count(), len(jobs))
+	}
+	if batch.String() != stream.String() {
+		t.Errorf("stream output diverges from WriteJSON:\nbatch:\n%s\nstream:\n%s",
+			batch.String(), stream.String())
+	}
+
+	got, err := ReadJSON(&stream)
+	if err != nil {
+		t.Fatalf("stream output not loadable: %v", err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("roundtrip lost jobs: %d of %d", len(got), len(jobs))
+	}
+}
+
+func TestStreamWriterEmptySet(t *testing.T) {
+	var batch, stream bytes.Buffer
+	if err := WriteJSON(&batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != stream.String() {
+		t.Errorf("empty-set output diverges:\nbatch: %q\nstream: %q", batch.String(), stream.String())
+	}
+	if _, err := ReadJSON(&stream); err != nil {
+		t.Errorf("empty stream set not loadable: %v", err)
+	}
+}

@@ -66,12 +66,17 @@ func (u *CoreUtilization) Utilization(end units.Tick) float64 {
 type JobRecord struct {
 	ID         int
 	Workload   string
+	User       string // submitting tenant ("" = anonymous single user)
 	SubmitTime units.Tick
 	StartTime  units.Tick // first dispatch
 	EndTime    units.Tick // completion (or final failure)
 	Completed  bool
 	Crashes    int // kill events before (or instead of) completion
 	Machine    string
+	// SeqWork is the job's inherent sequential running time (sum of its
+	// phase durations) — the denominator of stretch and the weight of
+	// per-tenant delivered work.
+	SeqWork units.Tick
 }
 
 // WaitTime is how long the job sat before first starting.
@@ -91,32 +96,15 @@ type Summary struct {
 }
 
 // Summarize builds a Summary from job records and device utilizations.
-// makespan should be the completion time of the last job.
+// makespan should be the completion time of the last job. It is a thin
+// wrapper over the streaming Aggregate, so the retained and emit-and-drop
+// paths are bit-identical by construction, not by parallel maintenance.
 func Summarize(records []JobRecord, utils []*CoreUtilization, makespan units.Tick) Summary {
-	s := Summary{Makespan: makespan, Jobs: len(records)}
-	var wait, turn int64
+	var a Aggregate
 	for _, r := range records {
-		if r.Completed {
-			s.Completed++
-		} else {
-			s.Failed++
-		}
-		s.Crashes += r.Crashes
-		wait += int64(r.WaitTime())
-		turn += int64(r.EndTime - r.SubmitTime)
+		a.Add(r)
 	}
-	if len(records) > 0 {
-		s.MeanWait = units.Tick(wait / int64(len(records)))
-		s.MeanTurnaround = units.Tick(turn / int64(len(records)))
-	}
-	if len(utils) > 0 && makespan > 0 {
-		total := 0.0
-		for _, u := range utils {
-			total += u.Utilization(makespan)
-		}
-		s.AvgUtilization = total / float64(len(utils))
-	}
-	return s
+	return a.Summary(utils, makespan)
 }
 
 // Reduction returns the fractional improvement of measured over baseline,

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// retireFixture is a lifecycle stream shaped like the real condor emitter:
+// crash and resubmit share a tick (both fire inside jobDone).
+//
+//	job 1: match → execute → terminate (retires at the terminate)
+//	job 2: crash at 800 + same-tick resubmit, second attempt completes
+//	job 3: crash at 800, retries exhausted — no resubmit ever comes
+//	job 4: aborted by the stall detector
+//	job 5: still running at end of stream
+func retireFixture() *Trace {
+	tr := NewTrace()
+	e := tr.Emit
+	for _, j := range []int{1, 2, 3, 4, 5} {
+		e(0, LayerCondor, "submit", F("job", j))
+	}
+	e(100, LayerCondor, "match", F("job", 2), F("machine", "slot1@n2"))
+	e(100, LayerCondor, "match", F("job", 3), F("machine", "slot1@n3"))
+	e(200, LayerCondor, "execute", F("job", 2), F("machine", "slot1@n2"))
+	e(200, LayerCondor, "execute", F("job", 3), F("machine", "slot1@n3"))
+	e(800, LayerCondor, "crash", F("job", 2), F("machine", "slot1@n2"), F("crashes", 1))
+	e(800, LayerCondor, "resubmit", F("job", 2))
+	e(800, LayerCondor, "crash", F("job", 3), F("machine", "slot1@n3"), F("crashes", 4))
+	e(900, LayerCondor, "match", F("job", 1), F("machine", "slot1@n1"))
+	e(950, LayerCondor, "execute", F("job", 1), F("machine", "slot1@n1"))
+	e(2000, LayerCondor, "terminate", F("job", 1), F("machine", "slot1@n1"))
+	e(2100, LayerCondor, "match", F("job", 2), F("machine", "slot1@n2"))
+	e(2200, LayerCondor, "execute", F("job", 2), F("machine", "slot1@n2"))
+	e(4000, LayerCondor, "terminate", F("job", 2), F("machine", "slot1@n2"))
+	e(4000, LayerCondor, "stall_abort", F("job", 4))
+	e(4100, LayerCondor, "match", F("job", 5), F("machine", "slot1@n1"))
+	return tr
+}
+
+// TestSpanRetire pins the emit-and-drop span pipeline against the retaining
+// builder: retired plus still-resident spans must together equal the
+// post-hoc set, terminal spans must leave the builder, and a crash followed
+// by a same-tick resubmit must NOT retire (the span reopens).
+func TestSpanRetire(t *testing.T) {
+	retained := SpansFromTrace(retireFixture())
+
+	var retired []*Span
+	b := NewSpanBuilder()
+	b.Retire = func(s *Span) { retired = append(retired, s) }
+	events := retireFixture().Events()
+	for _, e := range events {
+		b.Consume(e)
+	}
+
+	// All four terminal spans are out: jobs 1 and 2 at their terminates,
+	// job 4 at its stall_abort, and job 3's crash-failure once the job-1
+	// match at t=900 proved no same-tick resubmit was coming.
+	if got := len(retired); got != 4 {
+		t.Fatalf("retired %d spans before flush, want 4", got)
+	}
+	b.FlushRetired()
+	if got := len(retired); got != 4 {
+		t.Fatalf("retired %d spans after flush, want 4", got)
+	}
+
+	resident := b.Spans()
+	if len(resident) != 1 || resident[0].Job != 5 || resident[0].Outcome != "" {
+		t.Fatalf("resident spans = %+v, want only running job 5", resident)
+	}
+
+	all := append(append([]*Span{}, retired...), resident...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Job < all[j].Job })
+	if len(all) != len(retained) {
+		t.Fatalf("retire mode yields %d spans total, retaining builder %d", len(all), len(retained))
+	}
+	for i := range retained {
+		if !reflect.DeepEqual(all[i], retained[i]) {
+			t.Errorf("job %d span differs:\n  retire:   %+v\n  retained: %+v",
+				retained[i].Job, *all[i], *retained[i])
+		}
+	}
+
+	// Job 2 (crash + same-tick resubmit, then completed) must have retired
+	// exactly once, with both attempts attached.
+	for _, s := range retired {
+		if s.Job == 2 {
+			if len(s.Attempts) != 2 || s.Outcome != "completed" {
+				t.Errorf("resubmitted span retired wrong: %+v", *s)
+			}
+		}
+	}
+}
+
+// TestSpanRetireFlushDrainsFinalCrash covers the end-of-stream corner: a
+// crash with no later event stays resident (a same-tick resubmit could
+// still arrive) until FlushRetired forces the question.
+func TestSpanRetireFlushDrainsFinalCrash(t *testing.T) {
+	tr := NewTrace()
+	e := tr.Emit
+	e(0, LayerCondor, "submit", F("job", 9))
+	e(100, LayerCondor, "match", F("job", 9), F("machine", "slot1@n1"))
+	e(200, LayerCondor, "execute", F("job", 9), F("machine", "slot1@n1"))
+	e(800, LayerCondor, "crash", F("job", 9), F("machine", "slot1@n1"), F("crashes", 4))
+
+	var retired []*Span
+	b := NewSpanBuilder()
+	b.Retire = func(s *Span) { retired = append(retired, s) }
+	for _, ev := range tr.Events() {
+		b.Consume(ev)
+	}
+	if len(retired) != 0 {
+		t.Fatalf("final crash retired early: %+v", retired)
+	}
+	b.FlushRetired()
+	if len(retired) != 1 || retired[0].Job != 9 || retired[0].Outcome != "failed" {
+		t.Fatalf("flush retired %+v, want job 9 failed", retired)
+	}
+	if got := b.Spans(); len(got) != 0 {
+		t.Fatalf("builder still holds %d spans after flush", len(got))
+	}
+}

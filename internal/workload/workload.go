@@ -188,30 +188,46 @@ type Histogram struct {
 	Bins  []int     // count per bin
 	Edges []float64 // len(Bins)+1 bin edges in resource-level space
 	Total int
+
+	cfg Config // resource mapping for Observe
+}
+
+// NewHistogram returns an empty nbins-bin histogram using cfg's resource
+// mapping; feed jobs through Observe. Streaming consumers use this pair so
+// the set never has to be resident.
+func NewHistogram(dist Distribution, cfg Config, nbins int) *Histogram {
+	h := &Histogram{Dist: dist, Bins: make([]int, nbins),
+		Edges: make([]float64, nbins+1), cfg: cfg.withDefaults()}
+	for i := 0; i <= nbins; i++ {
+		h.Edges[i] = float64(i) / float64(nbins)
+	}
+	return h
+}
+
+// Observe bins one job.
+func (h *Histogram) Observe(j *job.Job) {
+	nbins := len(h.Bins)
+	span := float64(h.cfg.MaxMem - h.cfg.MinMem)
+	x := float64(j.Mem-h.cfg.MinMem) / span
+	bin := int(x * float64(nbins))
+	if bin >= nbins {
+		bin = nbins - 1
+	}
+	if bin < 0 {
+		bin = 0
+	}
+	h.Bins[bin]++
+	h.Total++
 }
 
 // BuildHistogram bins a synthetic job set into nbins equal-width resource
 // bins.
 func BuildHistogram(dist Distribution, jobs []*job.Job, cfg Config, nbins int) Histogram {
-	cfg = cfg.withDefaults()
-	h := Histogram{Dist: dist, Bins: make([]int, nbins), Edges: make([]float64, nbins+1)}
-	for i := 0; i <= nbins; i++ {
-		h.Edges[i] = float64(i) / float64(nbins)
-	}
-	span := float64(cfg.MaxMem - cfg.MinMem)
+	h := NewHistogram(dist, cfg, nbins)
 	for _, j := range jobs {
-		x := float64(j.Mem-cfg.MinMem) / span
-		bin := int(x * float64(nbins))
-		if bin >= nbins {
-			bin = nbins - 1
-		}
-		if bin < 0 {
-			bin = 0
-		}
-		h.Bins[bin]++
-		h.Total++
+		h.Observe(j)
 	}
-	return h
+	return *h
 }
 
 // MeanLevel returns the histogram's mean resource level, the summary used
